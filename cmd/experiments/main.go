@@ -1,0 +1,114 @@
+// Command experiments regenerates the paper's evaluation: every figure and
+// table from §4 and §5, plus the ablations DESIGN.md calls out.
+//
+// Usage:
+//
+//	experiments -run all
+//	experiments -run fig3 -duration 60 -data 2147483648
+//	experiments -run fig6 -csv out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"vscsistats/internal/report"
+	"vscsistats/internal/simclock"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "all", "experiment: fig2 fig3 fig4 fig5 fig6 table2 cachesweep ablation all")
+		duration = flag.Int("duration", 60, "measured duration in virtual seconds")
+		data     = flag.Int64("data", 2<<30, "primary dataset size in bytes")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csvDir   = flag.String("csv", "", "directory to write CSV series into")
+	)
+	flag.Parse()
+
+	opts := report.Options{
+		Duration:  simclock.Time(*duration) * simclock.Second,
+		DataBytes: *data,
+		Seed:      *seed,
+	}
+
+	var results []*report.Result
+	emit := func(r *report.Result, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		results = append(results, r)
+	}
+
+	for _, id := range strings.Split(*run, ",") {
+		switch id {
+		case "fig2":
+			emit(report.Fig2FilebenchUFS(opts))
+		case "fig3":
+			emit(report.Fig3FilebenchZFS(opts))
+		case "fig4":
+			emit(report.Fig4DBT2(opts))
+		case "fig5":
+			emit(report.Fig5FileCopy(opts))
+		case "fig6":
+			m, err := report.Fig6MultiVM(opts)
+			if err != nil {
+				emit(nil, err)
+			}
+			emit(m.Result, nil)
+		case "table2":
+			emit(report.Table2Overhead(opts))
+		case "cachesweep":
+			c, err := report.CacheSweep(opts)
+			if err != nil {
+				emit(nil, err)
+			}
+			emit(c.Result, nil)
+		case "ablation":
+			emit(report.AblationWindow(8, opts))
+			emit(report.AblationZFSAggregation(opts))
+			emit(report.AblationHistogramVsTrace(1_000_000), nil)
+		case "all":
+			rs, err := report.All(opts)
+			if err != nil {
+				emit(nil, err)
+			}
+			results = append(results, rs...)
+			emit(report.AblationWindow(8, opts))
+			emit(report.AblationZFSAggregation(opts))
+			emit(report.AblationHistogramVsTrace(1_000_000), nil)
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+	}
+
+	for _, r := range results {
+		fmt.Println(r)
+		fmt.Println()
+		if *csvDir != "" {
+			if err := writeCSVs(*csvDir, r); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSVs(dir string, r *report.Result) error {
+	for _, name := range r.CSVNames() {
+		path := filepath.Join(dir, fmt.Sprintf("%s_%s.csv", r.ID, name))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, []byte(r.CSVs[name]), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Command vscsitrace drives the virtual SCSI command tracing framework:
+// capture a trace from a simulated workload, dump it, replay it into
+// histograms, or run the offline analyses (exact statistics, sequential
+// stream detection, seek-vs-latency correlation) that online histograms
+// cannot provide (§3.6).
+//
+// Usage:
+//
+//	vscsitrace capture -workload dbt2 -duration 30 -o dbt2.vsct
+//	vscsitrace dump -i dbt2.vsct | head
+//	vscsitrace analyze -i dbt2.vsct
+//	vscsitrace replay -i dbt2.vsct -metric seekDistance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"vscsistats"
+	"vscsistats/internal/analysis"
+	"vscsistats/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "capture":
+		err = capture(args)
+	case "dump":
+		err = dump(args)
+	case "analyze":
+		err = analyze(args)
+	case "replay":
+		err = replay(args)
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vscsitrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: vscsitrace <capture|dump|analyze|replay> [flags]
+  capture -workload NAME -duration SECS -data BYTES -seed N -o FILE
+  dump    -i FILE [-csv]
+  analyze -i FILE
+  replay  -i FILE [-metric NAME]`)
+	os.Exit(2)
+}
+
+func capture(args []string) error {
+	fs := flag.NewFlagSet("capture", flag.ExitOnError)
+	name := fs.String("workload", "dbt2", "scenario to trace")
+	duration := fs.Int("duration", 30, "virtual seconds to capture")
+	data := fs.Int64("data", 1<<30, "dataset size in bytes")
+	seed := fs.Int64("seed", 1, "random seed")
+	out := fs.String("o", "trace.vsct", "output trace file")
+	fs.Parse(args)
+
+	sc, err := vscsistats.NewScenario(*name, vscsistats.ScenarioConfig{
+		Seed: *seed, DataBytes: *data, TraceCapacity: 4 << 20,
+	})
+	if err != nil {
+		return err
+	}
+	sc.Run(vscsistats.Time(*duration) * vscsistats.Second)
+	recs := sc.VD.Tracer.Records()
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := trace.Write(f, recs); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "captured %d commands from %s into %s\n", len(recs), *name, *out)
+	return f.Close()
+}
+
+func load(path string) ([]trace.Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return trace.Read(f)
+}
+
+func dump(args []string) error {
+	fs := flag.NewFlagSet("dump", flag.ExitOnError)
+	in := fs.String("i", "trace.vsct", "input trace file")
+	csv := fs.Bool("csv", false, "emit CSV")
+	fs.Parse(args)
+	recs, err := load(*in)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		return trace.WriteCSV(os.Stdout, recs)
+	}
+	for _, r := range recs {
+		fmt.Println(r)
+	}
+	return nil
+}
+
+func analyze(args []string) error {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	in := fs.String("i", "trace.vsct", "input trace file")
+	fs.Parse(args)
+	recs, err := load(*in)
+	if err != nil {
+		return err
+	}
+	fmt.Println("== exact statistics ==")
+	fmt.Print(analysis.Analyze(recs))
+	fmt.Println("\n== sequential streams ==")
+	fmt.Print(analysis.StreamSummary(recs, analysis.DefaultStreamConfig()))
+	fmt.Println("\n== seek distance vs latency (2-D histogram, §3.6) ==")
+	fmt.Print(analysis.SeekLatency(recs))
+	b := analysis.BurstinessOf(recs, 1000)
+	fmt.Println("\n== arrival process (1 ms windows) ==")
+	fmt.Printf("windows=%d mean=%.1f peak=%.0f peak/mean=%.1f dispersion=%.2f",
+		b.Windows, b.Mean, b.Peak, b.PeakToMean, b.IndexOfDisp)
+	if b.HurstOK {
+		fmt.Printf(" hurst=%.2f", b.Hurst)
+	}
+	fmt.Println()
+	return nil
+}
+
+func replay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	in := fs.String("i", "trace.vsct", "input trace file")
+	metric := fs.String("metric", "", "single metric to print")
+	fs.Parse(args)
+	recs, err := load(*in)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		return fmt.Errorf("trace is empty")
+	}
+	col := vscsistats.NewCollector(recs[0].VM, recs[0].Disk)
+	col.Enable()
+	vscsistats.Replay(recs, col)
+	snap := col.Snapshot()
+	if *metric != "" {
+		h := snap.Histogram(vscsistats.Metric(*metric), vscsistats.All)
+		if h == nil {
+			return fmt.Errorf("unknown metric %q", *metric)
+		}
+		fmt.Print(h.Render(50))
+		return nil
+	}
+	fmt.Println(snap.Summary())
+	return nil
+}

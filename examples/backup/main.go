@@ -1,0 +1,79 @@
+// Backup from a ZFS snapshot while OLTP keeps running: copy-on-write means
+// the snapshot pins the old on-disk layout for free, and the backup scan
+// reads those pinned extents while live writes stream to the COW frontier.
+// The characterization service shows both workloads' signatures mixed on
+// one virtual disk — exactly the "complex workloads may benefit from
+// splitting across virtual disks" situation of §3.6.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vscsistats"
+)
+
+func main() {
+	eng := vscsistats.NewEngine()
+	host := vscsistats.NewHost(eng)
+	host.AddDatastore("sym", vscsistats.Symmetrix(1))
+	vd, err := host.CreateVM("db").AddDisk(vscsistats.DiskSpec{
+		Name: "scsi0:0", Datastore: "sym", CapacitySectors: 16 << 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	zfsFS := vscsistats.NewZFS(eng, vd.Disk)
+
+	// OLTP runs against the dataset.
+	fb := vscsistats.NewFilebench(eng, zfsFS, vscsistats.OLTPModel(1<<30, 128<<20), 7)
+	if err := fb.Setup(); err != nil {
+		log.Fatal(err)
+	}
+	fb.Start()
+	eng.RunUntil(10 * vscsistats.Second)
+
+	// Take a snapshot mid-run (forces a txg), then enable stats and start
+	// the backup scan of the snapshot alongside the live workload.
+	snapper := zfsFS.(vscsistats.Snapshotter)
+	var snapErr error
+	snapDone := false
+	snapper.TakeSnapshot("backup-point", func(err error) { snapErr, snapDone = err, true })
+	for !snapDone && eng.Step() {
+	}
+	if snapErr != nil {
+		log.Fatal(snapErr)
+	}
+	vd.Collector.Enable()
+
+	snapFile, err := snapper.OpenSnapshot("backup-point", "datafile")
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Sequential backup scan: 1 MB chunks through the snapshot view.
+	var scanned int64
+	const chunk = 1 << 20
+	var scan func(off int64)
+	scan = func(off int64) {
+		if off+chunk > snapFile.Size() {
+			return
+		}
+		snapFile.Read(off, chunk, func(error) {
+			scanned += chunk
+			scan(off + chunk)
+		})
+	}
+	scan(0)
+	eng.RunUntil(40 * vscsistats.Second)
+	fb.Stop()
+
+	s := vd.Collector.Snapshot()
+	fmt.Printf("backup scanned %d MB while OLTP ran; disk saw %d commands\n",
+		scanned>>20, s.Commands)
+	fmt.Println(s.Histogram(vscsistats.MetricIOLength, vscsistats.Reads).Render(46))
+	fmt.Println("The read-size histogram shows both signatures at once: the")
+	fmt.Println("backup's 128 KB record scans plus the OLTP reads. The seek")
+	fmt.Println("histogram mixes the scan's sequential run with OLTP randomness:")
+	fmt.Println(s.Histogram(vscsistats.MetricSeekDistance, vscsistats.Reads).Render(46))
+	fmt.Println(vscsistats.FingerprintOf(s).Report())
+}

@@ -1,0 +1,3 @@
+module vscsistats
+
+go 1.22

@@ -1,0 +1,167 @@
+// Package analysis implements the offline, trace-based analyses the paper
+// reserves for questions histograms cannot answer online (§3.6): exact
+// (unbinned) statistics, 2-D metric correlations such as seek distance
+// versus latency, and sequential-stream detection.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vscsistats/internal/histogram"
+	"vscsistats/internal/trace"
+)
+
+// Exact holds unbinned distribution statistics for one metric, recomputed
+// from a trace with O(n) space — the cost the online histograms avoid.
+type Exact struct {
+	Count              int64
+	Mean               float64
+	Min, Max           int64
+	P50, P90, P95, P99 int64
+}
+
+// ExactOf computes exact statistics over a sample set.
+func ExactOf(values []int64) Exact {
+	if len(values) == 0 {
+		return Exact{}
+	}
+	sorted := append([]int64(nil), values...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum float64
+	for _, v := range sorted {
+		sum += float64(v)
+	}
+	pick := func(p float64) int64 {
+		idx := int(p*float64(len(sorted))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return sorted[idx]
+	}
+	return Exact{
+		Count: int64(len(sorted)),
+		Mean:  sum / float64(len(sorted)),
+		Min:   sorted[0],
+		Max:   sorted[len(sorted)-1],
+		P50:   pick(0.50),
+		P90:   pick(0.90),
+		P95:   pick(0.95),
+		P99:   pick(0.99),
+	}
+}
+
+// String renders the statistics on one line.
+func (e Exact) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f min=%d p50=%d p90=%d p95=%d p99=%d max=%d",
+		e.Count, e.Mean, e.Min, e.P50, e.P90, e.P95, e.P99, e.Max)
+}
+
+// Report is the full exact-statistics report for a trace.
+type Report struct {
+	Commands      int64
+	Reads, Writes int64
+	Latency       Exact // µs, all block I/O
+	ReadLatency   Exact
+	WriteLatency  Exact
+	Length        Exact // bytes
+	SeekDistance  Exact // sectors, signed
+	Interarrival  Exact // µs
+	Outstanding   Exact
+}
+
+// Analyze recomputes exact workload statistics from a trace. Only block I/O
+// records contribute, matching the online collector's visibility rule.
+func Analyze(records []trace.Record) *Report {
+	rep := &Report{}
+	var lat, rlat, wlat, lengths, seeks, inter, oio []int64
+	ordered := trace.Filter(records, trace.OnlyBlockIO)
+	trace.SortByIssue(ordered)
+	var lastEnd uint64
+	var lastIssue int64
+	for i, r := range ordered {
+		rep.Commands++
+		if r.Op.IsWrite() {
+			rep.Writes++
+			wlat = append(wlat, r.LatencyMicros())
+		} else {
+			rep.Reads++
+			rlat = append(rlat, r.LatencyMicros())
+		}
+		lat = append(lat, r.LatencyMicros())
+		lengths = append(lengths, r.Bytes())
+		oio = append(oio, int64(r.Outstanding))
+		if i > 0 {
+			seeks = append(seeks, int64(r.LBA)-int64(lastEnd))
+			inter = append(inter, r.IssueMicros-lastIssue)
+		}
+		lastEnd = r.LastLBA()
+		lastIssue = r.IssueMicros
+	}
+	rep.Latency = ExactOf(lat)
+	rep.ReadLatency = ExactOf(rlat)
+	rep.WriteLatency = ExactOf(wlat)
+	rep.Length = ExactOf(lengths)
+	rep.SeekDistance = ExactOf(seeks)
+	rep.Interarrival = ExactOf(inter)
+	rep.Outstanding = ExactOf(oio)
+	return rep
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d commands (%d reads, %d writes)\n", r.Commands, r.Reads, r.Writes)
+	fmt.Fprintf(&b, "  latency (us):      %s\n", r.Latency)
+	fmt.Fprintf(&b, "  read latency:      %s\n", r.ReadLatency)
+	fmt.Fprintf(&b, "  write latency:     %s\n", r.WriteLatency)
+	fmt.Fprintf(&b, "  length (bytes):    %s\n", r.Length)
+	fmt.Fprintf(&b, "  seek (sectors):    %s\n", r.SeekDistance)
+	fmt.Fprintf(&b, "  interarrival (us): %s\n", r.Interarrival)
+	fmt.Fprintf(&b, "  outstanding:       %s\n", r.Outstanding)
+	return b.String()
+}
+
+// SeekLatency correlates each command's seek distance (from its
+// predecessor) with its completion latency as a 2-D histogram — the
+// example correlation §3.6 names ("it might be interesting to correlate
+// seek distance with latency").
+func SeekLatency(records []trace.Record) *histogram.Snapshot2D {
+	h := histogram.New2D("Seek Distance vs Latency",
+		"seek (sectors)", histogram.SeekDistanceEdges(),
+		"latency (us)", histogram.LatencyEdges())
+	ordered := trace.Filter(records, trace.OnlyBlockIO)
+	trace.SortByIssue(ordered)
+	var lastEnd uint64
+	for i, r := range ordered {
+		if i > 0 {
+			h.Insert(int64(r.LBA)-int64(lastEnd), r.LatencyMicros())
+		}
+		lastEnd = r.LastLBA()
+	}
+	return h.Snapshot()
+}
+
+// Distance is the total-variation distance between two snapshots'
+// normalized bin distributions, in [0,1]; 0 means identical shape. It powers
+// workload-fingerprint comparison (§7's automatic categorization).
+func Distance(a, b *histogram.Snapshot) float64 {
+	if a.Total == 0 || b.Total == 0 {
+		if a.Total == b.Total {
+			return 0
+		}
+		return 1
+	}
+	var d float64
+	for i := range a.Counts {
+		pa := float64(a.Counts[i]) / float64(a.Total)
+		pb := float64(b.Counts[i]) / float64(b.Total)
+		if pa > pb {
+			d += pa - pb
+		} else {
+			d += pb - pa
+		}
+	}
+	return d / 2
+}

@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"math"
+
+	"vscsistats/internal/trace"
+)
+
+// Self-similarity analysis of arrival processes, after the paper's
+// reference [8] (Gomez & Santonja, "Self-similarity in I/O Workloads").
+// This is a trace-side analysis: it needs the raw arrival sequence, which
+// is exactly the kind of question §3.6 reserves for the tracing framework.
+
+// ArrivalCounts buckets block-I/O arrivals into fixed windows and returns
+// the per-window counts — the arrival process at the chosen timescale.
+func ArrivalCounts(records []trace.Record, windowMicros int64) []float64 {
+	if windowMicros <= 0 {
+		return nil
+	}
+	ordered := trace.Filter(records, trace.OnlyBlockIO)
+	if len(ordered) == 0 {
+		return nil
+	}
+	trace.SortByIssue(ordered)
+	start := ordered[0].IssueMicros
+	end := ordered[len(ordered)-1].IssueMicros
+	n := (end-start)/windowMicros + 1
+	counts := make([]float64, n)
+	for _, r := range ordered {
+		counts[(r.IssueMicros-start)/windowMicros]++
+	}
+	return counts
+}
+
+// Hurst estimates the Hurst exponent of a count series by the
+// aggregated-variance method: the series is averaged over blocks of size m,
+// and for a self-similar process Var(X^(m)) ~ m^(2H-2). A log-log
+// regression of variance against m yields H. H ≈ 0.5 indicates a
+// memoryless (Poisson-like) arrival process; H near 1 indicates strong
+// long-range dependence — burstiness that aggregation does not smooth.
+//
+// ok is false when the series is too short (fewer than 64 windows) or
+// degenerate (zero variance).
+func Hurst(counts []float64) (h float64, ok bool) {
+	if len(counts) < 64 {
+		return 0, false
+	}
+	var logM, logV []float64
+	for m := 1; m <= len(counts)/8; m *= 2 {
+		agg := aggregate(counts, m)
+		v := variance(agg)
+		if v <= 0 {
+			break
+		}
+		logM = append(logM, math.Log(float64(m)))
+		logV = append(logV, math.Log(v))
+	}
+	if len(logM) < 3 {
+		return 0, false
+	}
+	slope := regressSlope(logM, logV)
+	h = 1 + slope/2
+	// Clamp to the meaningful range; estimation noise can stray outside.
+	if h < 0 {
+		h = 0
+	}
+	if h > 1 {
+		h = 1
+	}
+	return h, true
+}
+
+// aggregate averages the series over non-overlapping blocks of size m.
+func aggregate(x []float64, m int) []float64 {
+	n := len(x) / m
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var sum float64
+		for j := 0; j < m; j++ {
+			sum += x[i*m+j]
+		}
+		out[i] = sum / float64(m)
+	}
+	return out
+}
+
+func variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	var ss float64
+	for _, v := range x {
+		d := v - mean
+		ss += d * d
+	}
+	return ss / float64(len(x))
+}
+
+// regressSlope is ordinary least squares through (x, y).
+func regressSlope(x, y []float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := float64(len(x))
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (n*sxy - sx*sy) / den
+}
+
+// Burstiness summarizes an arrival-count series: peak-to-mean ratio and
+// the index of dispersion (variance/mean; 1 for Poisson).
+type Burstiness struct {
+	Windows     int
+	Mean        float64
+	Peak        float64
+	PeakToMean  float64
+	IndexOfDisp float64
+	Hurst       float64
+	HurstOK     bool
+}
+
+// BurstinessOf computes the summary at the given window size.
+func BurstinessOf(records []trace.Record, windowMicros int64) Burstiness {
+	counts := ArrivalCounts(records, windowMicros)
+	b := Burstiness{Windows: len(counts)}
+	if len(counts) == 0 {
+		return b
+	}
+	for _, c := range counts {
+		b.Mean += c
+		if c > b.Peak {
+			b.Peak = c
+		}
+	}
+	b.Mean /= float64(len(counts))
+	if b.Mean > 0 {
+		b.PeakToMean = b.Peak / b.Mean
+		b.IndexOfDisp = variance(counts) / b.Mean
+	}
+	b.Hurst, b.HurstOK = Hurst(counts)
+	return b
+}

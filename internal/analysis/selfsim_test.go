@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/trace"
+)
+
+func TestArrivalCounts(t *testing.T) {
+	recs := []trace.Record{
+		rec(0, scsi.OpRead10, 0, 8, 0, 100),
+		rec(1, scsi.OpRead10, 8, 8, 500, 100),
+		rec(2, scsi.OpRead10, 16, 8, 1500, 100),
+		{Seq: 3, Op: scsi.OpInquiry, IssueMicros: 100}, // invisible
+	}
+	counts := ArrivalCounts(recs, 1000)
+	if len(counts) != 2 || counts[0] != 2 || counts[1] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if ArrivalCounts(nil, 1000) != nil || ArrivalCounts(recs, 0) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+func TestHurstPoissonNearHalf(t *testing.T) {
+	// Independent arrivals: H should estimate near 0.5.
+	rng := simclock.NewRand(11)
+	counts := make([]float64, 4096)
+	for i := range counts {
+		// Sum of Bernoulli arrivals approximates Poisson.
+		var c float64
+		for j := 0; j < 20; j++ {
+			if rng.Float64() < 0.3 {
+				c++
+			}
+		}
+		counts[i] = c
+	}
+	h, ok := Hurst(counts)
+	if !ok {
+		t.Fatal("estimation failed")
+	}
+	if h < 0.35 || h > 0.65 {
+		t.Errorf("Poisson-like H = %.2f, want near 0.5", h)
+	}
+}
+
+func TestHurstLongRangeDependenceHigher(t *testing.T) {
+	// Heavy-tailed on/off arrivals exhibit long-range dependence: the
+	// estimate must clearly exceed the memoryless baseline.
+	rng := simclock.NewRand(7)
+	counts := make([]float64, 8192)
+	i := 0
+	on := true
+	for i < len(counts) {
+		// Pareto-ish period lengths: u^(-1/1.2), capped.
+		u := rng.Float64()
+		period := int(math.Min(2000, math.Pow(u, -1/1.2)))
+		if period < 1 {
+			period = 1
+		}
+		for j := 0; j < period && i < len(counts); j++ {
+			if on {
+				counts[i] = 10
+			}
+			i++
+		}
+		on = !on
+	}
+	h, ok := Hurst(counts)
+	if !ok {
+		t.Fatal("estimation failed")
+	}
+	if h < 0.65 {
+		t.Errorf("heavy-tailed on/off H = %.2f, want > 0.65", h)
+	}
+}
+
+func TestHurstDegenerate(t *testing.T) {
+	if _, ok := Hurst(make([]float64, 10)); ok {
+		t.Error("short series should fail")
+	}
+	flat := make([]float64, 1000)
+	for i := range flat {
+		flat[i] = 5
+	}
+	if _, ok := Hurst(flat); ok {
+		t.Error("zero-variance series should fail")
+	}
+}
+
+func TestBurstinessOf(t *testing.T) {
+	// 10 commands in one window, then silence for nine windows, repeated.
+	var recs []trace.Record
+	seq := 0
+	for block := 0; block < 100; block++ {
+		base := int64(block) * 10_000
+		for j := 0; j < 10; j++ {
+			recs = append(recs, rec(seq, scsi.OpRead10, uint64(seq*8), 8, base+int64(j), 100))
+			seq++
+		}
+	}
+	b := BurstinessOf(recs, 1000)
+	if b.Windows < 900 {
+		t.Fatalf("windows = %d", b.Windows)
+	}
+	if b.PeakToMean < 5 {
+		t.Errorf("PeakToMean = %.1f, want bursty", b.PeakToMean)
+	}
+	if b.IndexOfDisp <= 1 {
+		t.Errorf("IndexOfDispersion = %.2f, want > 1", b.IndexOfDisp)
+	}
+	empty := BurstinessOf(nil, 1000)
+	if empty.Windows != 0 || empty.PeakToMean != 0 {
+		t.Errorf("empty burstiness: %+v", empty)
+	}
+}

@@ -1,0 +1,149 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vscsistats/internal/trace"
+)
+
+// Stream is one detected sequential run in a trace.
+type Stream struct {
+	// StartLBA is the first logical block of the run.
+	StartLBA uint64
+	// Commands is the number of I/Os in the run.
+	Commands int
+	// Sectors is the total extent covered.
+	Sectors uint64
+	// FirstMicros and LastMicros bound the run in time.
+	FirstMicros, LastMicros int64
+	// Writes reports whether the run is a write stream.
+	Writes bool
+}
+
+// String renders the stream.
+func (s Stream) String() string {
+	kind := "read"
+	if s.Writes {
+		kind = "write"
+	}
+	return fmt.Sprintf("%s stream @%d: %d cmds, %d sectors, %d-%dus",
+		kind, s.StartLBA, s.Commands, s.Sectors, s.FirstMicros, s.LastMicros)
+}
+
+// StreamConfig tunes detection.
+type StreamConfig struct {
+	// SlackSectors is how far past the expected next block an I/O may land
+	// and still extend a stream (tolerates small gaps/strides).
+	SlackSectors uint64
+	// MaxActive bounds concurrently tracked candidate streams, playing the
+	// same role as the collector's look-behind window N (§3.1): with k
+	// interleaved sequential streams, MaxActive >= k finds them all.
+	MaxActive int
+	// MinCommands filters out runs too short to call streams.
+	MinCommands int
+}
+
+// DefaultStreamConfig mirrors the collector's window of 16.
+func DefaultStreamConfig() StreamConfig {
+	return StreamConfig{SlackSectors: 16, MaxActive: 16, MinCommands: 4}
+}
+
+// DetectStreams finds interleaved sequential runs in a trace — the offline
+// counterpart of the windowed seek-distance histogram, answering not just
+// "are there multiple sequential streams" but where and how long.
+func DetectStreams(records []trace.Record, cfg StreamConfig) []Stream {
+	if cfg.MaxActive <= 0 {
+		cfg.MaxActive = 16
+	}
+	type active struct {
+		Stream
+		expected uint64
+		lastUsed int
+	}
+	ordered := trace.Filter(records, trace.OnlyBlockIO)
+	trace.SortByIssue(ordered)
+	var tracked []*active
+	var finished []Stream
+	emit := func(a *active) {
+		if a.Commands >= cfg.MinCommands {
+			finished = append(finished, a.Stream)
+		}
+	}
+	for i, r := range ordered {
+		matched := false
+		for _, a := range tracked {
+			if a.Writes == r.Op.IsWrite() &&
+				r.LBA >= a.expected && r.LBA <= a.expected+cfg.SlackSectors {
+				a.Commands++
+				a.Sectors += uint64(r.Blocks)
+				a.expected = r.LastLBA() + 1
+				a.LastMicros = r.IssueMicros
+				a.lastUsed = i
+				matched = true
+				break
+			}
+		}
+		if matched {
+			continue
+		}
+		na := &active{
+			Stream: Stream{
+				StartLBA:    r.LBA,
+				Commands:    1,
+				Sectors:     uint64(r.Blocks),
+				FirstMicros: r.IssueMicros,
+				LastMicros:  r.IssueMicros,
+				Writes:      r.Op.IsWrite(),
+			},
+			expected: r.LastLBA() + 1,
+			lastUsed: i,
+		}
+		if len(tracked) >= cfg.MaxActive {
+			// Retire the least recently extended candidate.
+			lru := 0
+			for j, a := range tracked {
+				if a.lastUsed < tracked[lru].lastUsed {
+					lru = j
+				}
+			}
+			emit(tracked[lru])
+			tracked[lru] = na
+		} else {
+			tracked = append(tracked, na)
+		}
+	}
+	for _, a := range tracked {
+		emit(a)
+	}
+	sort.Slice(finished, func(i, j int) bool {
+		if finished[i].Commands != finished[j].Commands {
+			return finished[i].Commands > finished[j].Commands
+		}
+		return finished[i].StartLBA < finished[j].StartLBA
+	})
+	return finished
+}
+
+// StreamSummary renders detected streams plus the fraction of commands they
+// cover.
+func StreamSummary(records []trace.Record, cfg StreamConfig) string {
+	streams := DetectStreams(records, cfg)
+	total := len(trace.Filter(records, trace.OnlyBlockIO))
+	var covered int
+	for _, s := range streams {
+		covered += s.Commands
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d sequential streams covering %d/%d commands\n",
+		len(streams), covered, total)
+	for i, s := range streams {
+		if i == 10 {
+			fmt.Fprintf(&b, "  ... and %d more\n", len(streams)-10)
+			break
+		}
+		fmt.Fprintf(&b, "  %s\n", s)
+	}
+	return b.String()
+}

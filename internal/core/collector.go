@@ -1,0 +1,233 @@
+// Package core implements the paper's primary contribution: the online disk
+// I/O workload characterization service. A Collector attaches to one virtual
+// disk's vSCSI fast path and maintains the full set of histograms from the
+// paper — I/O length, seek distance (plus the windowed variant that
+// disentangles interleaved sequential streams), outstanding I/Os, device
+// latency and inter-arrival time — each broken down by all/reads/writes,
+// in O(1) time and O(m) space per command (§3).
+package core
+
+import (
+	"sync/atomic"
+
+	"vscsistats/internal/histogram"
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+// DefaultWindow is the look-behind window for the windowed seek-distance
+// histogram. "The parameter N is set to 16 by default." (§3.1)
+const DefaultWindow = 16
+
+// Collector gathers online histograms for a single virtual disk. It
+// implements vscsi.Observer; attach it with Disk.AddObserver.
+//
+// A disabled collector costs one predictable branch per command ("the
+// processor's branch predictor ensures that they don't create overhead when
+// turned off") and holds no histogram memory ("our histogram data structures
+// are dynamically created as needed").
+type Collector struct {
+	vm, disk string
+	window   int
+	enabled  atomic.Bool
+	h        *histSet
+}
+
+// histSet is the dynamically allocated state, created on first Enable.
+type histSet struct {
+	ioLength     [3]*histogram.Histogram // indexed by opClass
+	seekDistance [3]*histogram.Histogram
+	seekWindowed *histogram.Histogram
+	outstanding  [3]*histogram.Histogram
+	latency      [3]*histogram.Histogram
+	interarrival [3]*histogram.Histogram
+
+	// lastEnd is the last logical block of the previous I/O (§3.1: "an
+	// unsigned 64-bit memory location per virtual disk").
+	lastEnd  uint64
+	haveLast bool
+	// recent is the circular array of the last-window request end blocks
+	// used for the windowed seek-distance histogram.
+	recent    []uint64
+	recentLen int
+	recentPos int
+	// lastArrival is the issue time of the previous command (§3.2: "we
+	// record the processor cycle counter value at the time of every
+	// received I/O").
+	lastArrival simclock.Time
+	haveArrival bool
+
+	commands   atomic.Int64
+	reads      atomic.Int64
+	writes     atomic.Int64
+	readBytes  atomic.Int64
+	writeBytes atomic.Int64
+	errors     atomic.Int64
+}
+
+// op classes index the per-metric histogram triples.
+const (
+	classAll = iota
+	classRead
+	classWrite
+)
+
+// NewCollector creates a disabled collector for the named disk with the
+// default look-behind window.
+func NewCollector(vm, disk string) *Collector {
+	return NewCollectorWindow(vm, disk, DefaultWindow)
+}
+
+// NewCollectorWindow creates a disabled collector with an explicit windowed
+// seek-distance look-behind of n (n >= 1).
+func NewCollectorWindow(vm, disk string, n int) *Collector {
+	if n < 1 {
+		panic("core: window must be >= 1")
+	}
+	return &Collector{vm: vm, disk: disk, window: n}
+}
+
+// VM and Disk identify the virtual disk being characterized.
+func (c *Collector) VM() string   { return c.vm }
+func (c *Collector) Disk() string { return c.disk }
+
+// Window returns the windowed seek-distance look-behind size.
+func (c *Collector) Window() int { return c.window }
+
+// Enabled reports whether the service is currently recording.
+func (c *Collector) Enabled() bool { return c.enabled.Load() }
+
+// Enable turns the service on, allocating histograms on first use.
+// Histograms persist across Disable/Enable cycles until Reset.
+func (c *Collector) Enable() {
+	if c.h == nil {
+		c.h = newHistSet(c.window)
+	}
+	c.enabled.Store(true)
+}
+
+// Disable stops recording without discarding accumulated data.
+func (c *Collector) Disable() { c.enabled.Store(false) }
+
+// Reset discards all accumulated data and per-stream state.
+func (c *Collector) Reset() {
+	if c.h != nil {
+		c.h = newHistSet(c.window)
+	}
+}
+
+func newHistSet(window int) *histSet {
+	h := &histSet{recent: make([]uint64, window)}
+	for class, suffix := range [...]string{"", " (Reads)", " (Writes)"} {
+		h.ioLength[class] = histogram.NewIOLength("I/O Length Histogram" + suffix)
+		h.seekDistance[class] = histogram.NewSeekDistance("Seek Distance Histogram" + suffix)
+		h.outstanding[class] = histogram.NewOutstanding("Outstanding I/Os Histogram" + suffix)
+		h.latency[class] = histogram.NewLatency("I/O Latency Histogram" + suffix)
+		h.interarrival[class] = histogram.NewInterarrival("I/O Interarrival Histogram" + suffix)
+	}
+	h.seekWindowed = histogram.NewSeekDistance("Seek Distance Histogram (Windowed)")
+	return h
+}
+
+var _ vscsi.Observer = (*Collector)(nil)
+
+// OnIssue records the arrival-side metrics: length, seek distance (plain and
+// windowed), outstanding I/Os and inter-arrival time. Non-I/O SCSI commands
+// (INQUIRY, TEST UNIT READY, …) are invisible to the workload histograms.
+func (c *Collector) OnIssue(r *vscsi.Request) {
+	if !c.enabled.Load() {
+		return
+	}
+	cmd := r.Cmd
+	if !cmd.Op.IsBlockIO() {
+		return
+	}
+	h := c.h
+	class := classRead
+	if cmd.Op.IsWrite() {
+		class = classWrite
+	}
+	h.commands.Add(1)
+	if class == classRead {
+		h.reads.Add(1)
+		h.readBytes.Add(cmd.Bytes())
+	} else {
+		h.writes.Add(1)
+		h.writeBytes.Add(cmd.Bytes())
+	}
+
+	// I/O length (§3.2).
+	h.ioLength[classAll].Insert(cmd.Bytes())
+	h.ioLength[class].Insert(cmd.Bytes())
+
+	// Outstanding I/Os at arrival (§3.3).
+	oio := int64(r.OutstandingAtIssue)
+	h.outstanding[classAll].Insert(oio)
+	h.outstanding[class].Insert(oio)
+
+	// Seek distance: first block of this I/O minus last block of the
+	// previous I/O, preserved signed to expose reverse scans (§3.1).
+	if h.haveLast {
+		d := int64(cmd.LBA) - int64(h.lastEnd)
+		h.seekDistance[classAll].Insert(d)
+		h.seekDistance[class].Insert(d)
+	}
+	// Windowed variant: minimum-magnitude distance to any of the last N
+	// I/Os, sign preserved (§3.1).
+	if h.recentLen > 0 {
+		var best int64
+		have := false
+		for i := 0; i < h.recentLen; i++ {
+			d := int64(cmd.LBA) - int64(h.recent[i])
+			if !have || abs64(d) < abs64(best) {
+				best, have = d, true
+			}
+		}
+		h.seekWindowed.Insert(best)
+	}
+	h.lastEnd = cmd.LastLBA()
+	h.haveLast = true
+	h.recent[h.recentPos] = cmd.LastLBA()
+	h.recentPos = (h.recentPos + 1) % len(h.recent)
+	if h.recentLen < len(h.recent) {
+		h.recentLen++
+	}
+
+	// Inter-arrival time in microseconds (§3.2).
+	if h.haveArrival {
+		h.interarrival[classAll].Insert((r.IssueTime - h.lastArrival).Micros())
+		h.interarrival[class].Insert((r.IssueTime - h.lastArrival).Micros())
+	}
+	h.lastArrival = r.IssueTime
+	h.haveArrival = true
+}
+
+// OnComplete records device latency (§3.5) and error counts.
+func (c *Collector) OnComplete(r *vscsi.Request) {
+	if !c.enabled.Load() {
+		return
+	}
+	if !r.Cmd.Op.IsBlockIO() {
+		return
+	}
+	h := c.h
+	if r.Status != scsi.StatusGood {
+		h.errors.Add(1)
+		return
+	}
+	lat := r.Latency().Micros()
+	h.latency[classAll].Insert(lat)
+	if r.Cmd.Op.IsWrite() {
+		h.latency[classWrite].Insert(lat)
+	} else {
+		h.latency[classRead].Insert(lat)
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

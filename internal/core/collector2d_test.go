@@ -1,0 +1,115 @@
+package core
+
+import (
+	"testing"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+// seekLatencyRig wires a Collector2D to a disk whose latency depends on
+// seek distance, so the correlation is visible in the grid.
+func newSeekLatencyRig(t *testing.T) (*simclock.Engine, *vscsi.Disk, *Collector2D) {
+	t.Helper()
+	eng := simclock.NewEngine()
+	var lastEnd uint64
+	backend := vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		d := int64(r.Cmd.LBA) - int64(lastEnd)
+		lastEnd = r.Cmd.LastLBA()
+		lat := 200 * simclock.Microsecond
+		if d < -1000 || d > 1000 {
+			lat = 20 * simclock.Millisecond
+		}
+		eng.After(lat, func(simclock.Time) { done(scsi.StatusGood, scsi.Sense{}) })
+	})
+	disk := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{VM: "v", Name: "d", CapacitySectors: 1 << 30})
+	c2 := NewCollector2D("v", "d")
+	c2.Enable()
+	disk.AddObserver(c2)
+	return eng, disk, c2
+}
+
+func TestCollector2DCorrelatesSeekWithLatency(t *testing.T) {
+	eng, disk, c2 := newSeekLatencyRig(t)
+	// Alternate sequential runs and far jumps, serialized so the backend's
+	// distance computation matches the collector's.
+	lba := uint64(0)
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= 100 {
+			return
+		}
+		if i%10 == 0 {
+			lba += 20_000_000 // far jump (10 jumps stay inside the disk)
+		} else {
+			// sequential continuation: lba already points past last I/O
+		}
+		disk.Issue(scsi.Read(lba, 8), func(*vscsi.Request) { issue(i + 1) })
+		lba += 8
+	}
+	issue(0)
+	eng.Run()
+	s := c2.Snapshot()
+	if s.Total != 99 { // first command has no predecessor
+		t.Fatalf("Total = %d", s.Total)
+	}
+	// Sequential commands (seek 1) must sit in low-latency cells, far
+	// seeks in high-latency cells: check the conditional distributions.
+	var seqBin, farBin int
+	for i := range s.XEdges {
+		if s.XEdges[i] == 2 {
+			seqBin = i
+		}
+	}
+	farBin = len(s.XEdges) // overflow
+	seqLat := s.ConditionalY(seqBin)
+	farLat := s.ConditionalY(farBin)
+	if seqLat.Total == 0 || farLat.Total == 0 {
+		t.Fatalf("conditionals empty: seq=%d far=%d\n%s", seqLat.Total, farLat.Total, s)
+	}
+	if seqLat.Max > 1000 {
+		t.Errorf("sequential latency max = %d us, want fast", seqLat.Max)
+	}
+	if farLat.Percentile(50) < 15000 {
+		t.Errorf("far-seek latency p50 = %d us, want slow", farLat.Percentile(50))
+	}
+}
+
+func TestCollector2DDisabledAndErrors(t *testing.T) {
+	eng, disk, c2 := newSeekLatencyRig(t)
+	c2.Disable()
+	disk.Issue(scsi.Read(0, 8), nil)
+	disk.Issue(scsi.Read(8, 8), nil)
+	eng.Run()
+	if got := c2.Snapshot().Total; got != 0 {
+		t.Errorf("disabled collector recorded %d", got)
+	}
+	if !c2.Enabled() {
+		c2.Enable()
+	}
+	if NewCollector2D("a", "b").Snapshot() != nil {
+		t.Error("never-enabled snapshot should be nil")
+	}
+}
+
+func TestCollector2DSkipsFailedCommands(t *testing.T) {
+	eng := simclock.NewEngine()
+	backend := vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		done(scsi.StatusCheckCondition, scsi.SenseUnrecoveredRead)
+	})
+	disk := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{VM: "v", Name: "d", CapacitySectors: 1 << 20})
+	c2 := NewCollector2D("v", "d")
+	c2.Enable()
+	disk.AddObserver(c2)
+	disk.Issue(scsi.Read(0, 8), nil)
+	disk.Issue(scsi.Read(8, 8), nil)
+	eng.Run()
+	if got := c2.Snapshot().Total; got != 0 {
+		t.Errorf("failed commands contributed %d samples", got)
+	}
+	// The in-flight map must not leak entries for failed commands.
+	if len(c2.seekOf) != 0 {
+		t.Errorf("seekOf leaked %d entries", len(c2.seekOf))
+	}
+}

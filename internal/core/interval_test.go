@@ -1,0 +1,278 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+func TestIntervalRecorderDeltas(t *testing.T) {
+	r := newRig(t, simclock.Millisecond)
+	rec := NewIntervalRecorder(r.eng, r.col, 6*simclock.Second)
+	// 1 I/O per second for 18 seconds (offset half a second to avoid
+	// same-instant ties with the ticks): three 6-second intervals of 6.
+	for i := 0; i < 18; i++ {
+		i := i
+		r.eng.At(simclock.Time(i)*simclock.Second+500*simclock.Millisecond, func(simclock.Time) {
+			r.d.Issue(scsi.Read(uint64(i*8), 8), nil)
+		})
+	}
+	r.eng.RunUntil(18*simclock.Second + 1)
+	rec.Stop()
+	if len(rec.Intervals) != 3 {
+		t.Fatalf("intervals = %d, want 3", len(rec.Intervals))
+	}
+	for i, s := range rec.Intervals {
+		if s.Commands != 6 {
+			t.Errorf("interval %d commands = %d, want 6", i, s.Commands)
+		}
+	}
+	rates := rec.Rates()
+	if len(rates) != 3 || rates[0] != 6 {
+		t.Errorf("Rates = %v", rates)
+	}
+}
+
+func TestIntervalRecorderSeries(t *testing.T) {
+	r := newRig(t, simclock.Millisecond)
+	rec := NewIntervalRecorder(r.eng, r.col, simclock.Second)
+	// Interval 1: shallow queue. Interval 2: deep queue.
+	r.eng.At(100*simclock.Millisecond, func(simclock.Time) {
+		r.d.Issue(scsi.Read(0, 8), nil)
+	})
+	r.eng.At(1100*simclock.Millisecond, func(simclock.Time) {
+		for i := 0; i < 8; i++ {
+			r.d.Issue(scsi.Read(uint64(i*8), 8), nil)
+		}
+	})
+	r.eng.RunUntil(2*simclock.Second + 1)
+	rec.Stop()
+	ts := rec.Series(MetricOutstanding, All)
+	if ts.Len() != 2 {
+		t.Fatalf("series len = %d", ts.Len())
+	}
+	if ts.Snaps[0].Total != 1 || ts.Snaps[1].Total != 8 {
+		t.Errorf("series totals: %d, %d", ts.Snaps[0].Total, ts.Snaps[1].Total)
+	}
+	if ts.Snaps[1].Max != 7 {
+		t.Errorf("interval 2 max OIO = %d, want 7", ts.Snaps[1].Max)
+	}
+	if !strings.Contains(ts.CSV(), "S1,S2") {
+		t.Errorf("series CSV:\n%s", ts.CSV())
+	}
+}
+
+func TestIntervalRecorderNeedsEnabledCollector(t *testing.T) {
+	eng := simclock.NewEngine()
+	col := NewCollector("v", "d")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for disabled collector")
+		}
+	}()
+	NewIntervalRecorder(eng, col, simclock.Second)
+}
+
+func TestRegistryRegisterLookupList(t *testing.T) {
+	reg := NewRegistry()
+	a := NewCollector("vmB", "scsi0:0")
+	b := NewCollector("vmA", "scsi0:1")
+	c := NewCollector("vmA", "scsi0:0")
+	reg.Register(a)
+	reg.Register(b)
+	reg.Register(c)
+	if reg.Lookup("vmB", "scsi0:0") != a {
+		t.Error("Lookup failed")
+	}
+	if reg.Lookup("nope", "x") != nil {
+		t.Error("Lookup of unknown should be nil")
+	}
+	list := reg.List()
+	if len(list) != 3 || list[0] != c || list[1] != b || list[2] != a {
+		t.Errorf("List order wrong: %v", list)
+	}
+}
+
+func TestRegistryDuplicatePanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(NewCollector("v", "d"))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate registration")
+		}
+	}()
+	reg.Register(NewCollector("v", "d"))
+}
+
+func TestRegistryEnableDisableResetAll(t *testing.T) {
+	reg := NewRegistry()
+	a := NewCollector("v", "d1")
+	b := NewCollector("v", "d2")
+	reg.Register(a)
+	reg.Register(b)
+	reg.EnableAll()
+	if !a.Enabled() || !b.Enabled() {
+		t.Fatal("EnableAll failed")
+	}
+	if n := len(reg.Snapshots()); n != 2 {
+		t.Errorf("Snapshots = %d, want 2", n)
+	}
+	reg.DisableAll()
+	if a.Enabled() || b.Enabled() {
+		t.Fatal("DisableAll failed")
+	}
+	// ResetAll must not panic on enabled-then-disabled collectors.
+	reg.ResetAll()
+}
+
+func TestRegistrySnapshotsSkipNeverEnabled(t *testing.T) {
+	reg := NewRegistry()
+	reg.Register(NewCollector("v", "d"))
+	if got := reg.Snapshots(); len(got) != 0 {
+		t.Errorf("Snapshots = %d, want 0", len(got))
+	}
+}
+
+func issueMany(t *testing.T, r *rig, cmds []scsi.Command, gap simclock.Time) *Snapshot {
+	t.Helper()
+	r.issueSeq(t, gap, cmds...)
+	return r.col.Snapshot()
+}
+
+func TestFingerprintSequentialRead(t *testing.T) {
+	r := newRig(t, 200*simclock.Microsecond)
+	var cmds []scsi.Command
+	for i := uint64(0); i < 200; i++ {
+		cmds = append(cmds, scsi.Read(i*128, 128)) // 64 KB sequential
+	}
+	f := FingerprintOf(issueMany(t, r, cmds, simclock.Millisecond))
+	if f.AccessPattern != PatternSequential {
+		t.Errorf("pattern = %s, want sequential (%+v)", f.AccessPattern, f)
+	}
+	if f.ReadFraction != 1 {
+		t.Errorf("ReadFraction = %v", f.ReadFraction)
+	}
+	if f.DominantIOBytes != 65536 {
+		t.Errorf("DominantIOBytes = %d, want 65536", f.DominantIOBytes)
+	}
+	recs := f.Recommendations()
+	if len(recs) == 0 || !strings.Contains(strings.Join(recs, "\n"), "read-ahead") {
+		t.Errorf("recommendations: %v", recs)
+	}
+}
+
+func TestFingerprintRandomWrite(t *testing.T) {
+	r := newRig(t, 200*simclock.Microsecond)
+	rng := simclock.NewRand(7)
+	var cmds []scsi.Command
+	for i := 0; i < 500; i++ {
+		cmds = append(cmds, scsi.Write(uint64(rng.Int63n(1<<28)), 16))
+	}
+	f := FingerprintOf(issueMany(t, r, cmds, simclock.Millisecond))
+	if f.AccessPattern != PatternRandom {
+		t.Errorf("pattern = %s, want random", f.AccessPattern)
+	}
+	if f.ReadFraction != 0 {
+		t.Errorf("ReadFraction = %v", f.ReadFraction)
+	}
+	report := f.Report()
+	if !strings.Contains(report, "write-back cache") {
+		t.Errorf("write-heavy advice missing:\n%s", report)
+	}
+}
+
+func TestFingerprintReverseScan(t *testing.T) {
+	r := newRig(t, 100*simclock.Microsecond)
+	var cmds []scsi.Command
+	for i := 400; i > 0; i-- {
+		cmds = append(cmds, scsi.Read(uint64(i)*100000, 8))
+	}
+	f := FingerprintOf(issueMany(t, r, cmds, simclock.Millisecond))
+	if f.ReverseScanFraction < 0.9 {
+		t.Errorf("ReverseScanFraction = %v, want ~1", f.ReverseScanFraction)
+	}
+	if !strings.Contains(strings.Join(f.Recommendations(), "\n"), "reverse scans") {
+		t.Error("reverse-scan advice missing")
+	}
+}
+
+func TestFingerprintEmpty(t *testing.T) {
+	var zero Fingerprint
+	if got := FingerprintOf(nil); got != zero {
+		t.Errorf("FingerprintOf(nil) = %+v", got)
+	}
+	c := NewCollector("v", "d")
+	c.Enable()
+	if got := FingerprintOf(c.Snapshot()); got != zero {
+		t.Errorf("FingerprintOf(empty) = %+v", got)
+	}
+}
+
+func TestFingerprintString(t *testing.T) {
+	f := Fingerprint{AccessPattern: PatternMixed, SequentialFraction: 0.5,
+		ReadFraction: 0.25, DominantIOBytes: 8192, MeanOutstanding: 3.2}
+	s := f.String()
+	for _, want := range []string{"mixed", "50% local", "25% reads", "8192B"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q: %s", want, s)
+		}
+	}
+}
+
+func vscsiBackend(eng *simclock.Engine) vscsi.Backend {
+	return vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		eng.After(simclock.Millisecond, func(simclock.Time) { done(scsi.StatusGood, scsi.Sense{}) })
+	})
+}
+
+func vscsiDisk(eng *simclock.Engine, b vscsi.Backend, vm, disk string) *vscsi.Disk {
+	return vscsi.NewDisk(eng, b, vscsi.DiskConfig{VM: vm, Name: disk, CapacitySectors: 1 << 20})
+}
+
+func TestAggregateAndVMSnapshot(t *testing.T) {
+	mk := func(vm, disk string, reads int) *Collector {
+		eng := simclock.NewEngine()
+		backend := vscsiBackend(eng)
+		d := vscsiDisk(eng, backend, vm, disk)
+		c := NewCollector(vm, disk)
+		c.Enable()
+		d.AddObserver(c)
+		for i := 0; i < reads; i++ {
+			d.Issue(scsi.Read(uint64(i*8), 8), nil)
+		}
+		eng.Run()
+		return c
+	}
+	reg := NewRegistry()
+	a := mk("vm1", "d0", 3)
+	b := mk("vm1", "d1", 5)
+	c := mk("vm2", "d0", 7)
+	reg.Register(a)
+	reg.Register(b)
+	reg.Register(c)
+
+	vmAgg := reg.VMSnapshot("vm1")
+	if vmAgg.Commands != 8 || vmAgg.NumReads != 8 {
+		t.Errorf("vm1 aggregate: %+v", vmAgg.Commands)
+	}
+	if vmAgg.IOLength[All].Total != 8 {
+		t.Errorf("vm1 length total = %d", vmAgg.IOLength[All].Total)
+	}
+	host := reg.HostSnapshot()
+	if host.Commands != 15 {
+		t.Errorf("host aggregate: %d", host.Commands)
+	}
+	if Aggregate("x", "y") != nil {
+		t.Error("empty aggregate should be nil")
+	}
+	// Aggregation must not mutate the inputs.
+	if a.Snapshot().Commands != 3 {
+		t.Error("aggregate mutated a source snapshot")
+	}
+	if reg.VMSnapshot("ghost") != nil {
+		t.Error("unknown VM should aggregate to nil")
+	}
+}

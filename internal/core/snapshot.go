@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"vscsistats/internal/histogram"
+)
+
+// Metric names the collector's histogram families.
+type Metric string
+
+// Metrics collected by the service.
+const (
+	MetricIOLength     Metric = "ioLength"
+	MetricSeekDistance Metric = "seekDistance"
+	MetricSeekWindowed Metric = "seekDistanceWindowed"
+	MetricOutstanding  Metric = "outstandingIOs"
+	MetricLatency      Metric = "latency"
+	MetricInterarrival Metric = "interarrival"
+)
+
+// Metrics lists every metric family in display order.
+func Metrics() []Metric {
+	return []Metric{MetricIOLength, MetricSeekDistance, MetricSeekWindowed,
+		MetricOutstanding, MetricLatency, MetricInterarrival}
+}
+
+// Class selects the operation breakdown of a metric.
+type Class int
+
+// Breakdown classes (§3.4: "we also separate out histograms for read and
+// write commands").
+const (
+	All Class = iota
+	Reads
+	Writes
+)
+
+// String names the class.
+func (cl Class) String() string {
+	switch cl {
+	case Reads:
+		return "reads"
+	case Writes:
+		return "writes"
+	default:
+		return "all"
+	}
+}
+
+// Snapshot is an immutable copy of everything a collector has gathered.
+type Snapshot struct {
+	VM, Disk string
+
+	IOLength     [3]*histogram.Snapshot
+	SeekDistance [3]*histogram.Snapshot
+	SeekWindowed *histogram.Snapshot
+	Outstanding  [3]*histogram.Snapshot
+	Latency      [3]*histogram.Snapshot
+	Interarrival [3]*histogram.Snapshot
+
+	Commands   int64
+	NumReads   int64
+	NumWrites  int64
+	ReadBytes  int64
+	WriteBytes int64
+	Errors     int64
+}
+
+// Snapshot copies the collector's current state. It returns nil if the
+// service has never been enabled (no data structures exist).
+func (c *Collector) Snapshot() *Snapshot {
+	h := c.h
+	if h == nil {
+		return nil
+	}
+	s := &Snapshot{
+		VM:           c.vm,
+		Disk:         c.disk,
+		SeekWindowed: h.seekWindowed.Snapshot(),
+		Commands:     h.commands.Load(),
+		NumReads:     h.reads.Load(),
+		NumWrites:    h.writes.Load(),
+		ReadBytes:    h.readBytes.Load(),
+		WriteBytes:   h.writeBytes.Load(),
+		Errors:       h.errors.Load(),
+	}
+	for class := 0; class < 3; class++ {
+		s.IOLength[class] = h.ioLength[class].Snapshot()
+		s.SeekDistance[class] = h.seekDistance[class].Snapshot()
+		s.Outstanding[class] = h.outstanding[class].Snapshot()
+		s.Latency[class] = h.latency[class].Snapshot()
+		s.Interarrival[class] = h.interarrival[class].Snapshot()
+	}
+	return s
+}
+
+// Histogram returns the named histogram for the given class. The windowed
+// seek-distance metric has no read/write breakdown; all classes return the
+// same histogram for it.
+func (s *Snapshot) Histogram(m Metric, cl Class) *histogram.Snapshot {
+	switch m {
+	case MetricIOLength:
+		return s.IOLength[cl]
+	case MetricSeekDistance:
+		return s.SeekDistance[cl]
+	case MetricSeekWindowed:
+		return s.SeekWindowed
+	case MetricOutstanding:
+		return s.Outstanding[cl]
+	case MetricLatency:
+		return s.Latency[cl]
+	case MetricInterarrival:
+		return s.Interarrival[cl]
+	default:
+		return nil
+	}
+}
+
+// ReadFraction returns reads as a fraction of all block I/Os, in [0,1].
+func (s *Snapshot) ReadFraction() float64 {
+	if s.Commands == 0 {
+		return 0
+	}
+	return float64(s.NumReads) / float64(s.Commands)
+}
+
+// Sub returns the interval snapshot s minus earlier: every histogram and
+// counter becomes the delta accumulated between the two snapshots. Used by
+// the interval recorder for the paper's "histogram over time" figures.
+func (s *Snapshot) Sub(earlier *Snapshot) *Snapshot {
+	d := &Snapshot{
+		VM:           s.VM,
+		Disk:         s.Disk,
+		SeekWindowed: s.SeekWindowed.Sub(earlier.SeekWindowed),
+		Commands:     s.Commands - earlier.Commands,
+		NumReads:     s.NumReads - earlier.NumReads,
+		NumWrites:    s.NumWrites - earlier.NumWrites,
+		ReadBytes:    s.ReadBytes - earlier.ReadBytes,
+		WriteBytes:   s.WriteBytes - earlier.WriteBytes,
+		Errors:       s.Errors - earlier.Errors,
+	}
+	for class := 0; class < 3; class++ {
+		d.IOLength[class] = s.IOLength[class].Sub(earlier.IOLength[class])
+		d.SeekDistance[class] = s.SeekDistance[class].Sub(earlier.SeekDistance[class])
+		d.Outstanding[class] = s.Outstanding[class].Sub(earlier.Outstanding[class])
+		d.Latency[class] = s.Latency[class].Sub(earlier.Latency[class])
+		d.Interarrival[class] = s.Interarrival[class].Sub(earlier.Interarrival[class])
+	}
+	return d
+}
+
+// Summary renders a one-screen textual overview: counters plus the modal
+// bin of each primary histogram.
+func (s *Snapshot) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "VM %s disk %s: %d commands (%d reads, %d writes, %.0f%% reads), %d errors\n",
+		s.VM, s.Disk, s.Commands, s.NumReads, s.NumWrites, 100*s.ReadFraction(), s.Errors)
+	fmt.Fprintf(&b, "  bytes: read %d, written %d\n", s.ReadBytes, s.WriteBytes)
+	for _, m := range Metrics() {
+		h := s.Histogram(m, All)
+		if h == nil || h.Total == 0 {
+			continue
+		}
+		mode, modeCount := 0, int64(-1)
+		for i, c := range h.Counts {
+			if c > modeCount {
+				mode, modeCount = i, c
+			}
+		}
+		fmt.Fprintf(&b, "  %-22s mean=%-12.1f mode=%s (%d of %d)\n",
+			string(m), h.Mean(), h.BinLabel(mode), modeCount, h.Total)
+	}
+	return b.String()
+}
+
+// Render renders the selected histograms as ASCII charts.
+func (s *Snapshot) Render(metrics []Metric, cl Class) string {
+	var b strings.Builder
+	for _, m := range metrics {
+		h := s.Histogram(m, cl)
+		if h == nil {
+			continue
+		}
+		b.WriteString(h.Render(50))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,374 @@
+package fs
+
+import (
+	"fmt"
+	"sort"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+// PlainConfig parameterizes the family of update-in-place filesystems (UFS,
+// ext3, NTFS): fixed block size, optional sequential journal, a guest page
+// cache with periodic writeback, and a maximum transfer size per disk I/O.
+type PlainConfig struct {
+	// Type names the filesystem, e.g. "ufs".
+	Type string
+	// BlockBytes is the filesystem block size (reads are block-granular).
+	BlockBytes int64
+	// MaxIOBytes caps a single disk transfer; larger requests split.
+	MaxIOBytes int64
+	// Journal adds a sequential journal region; size-changing operations
+	// append a commit record to it.
+	Journal      bool
+	JournalBytes int64
+	recordBytes  int64 // journal commit record size (fixed 4 KB)
+	// PageCacheBytes sizes the guest buffer cache; 0 disables it so every
+	// operation reaches the disk.
+	PageCacheBytes int64
+	// FlushInterval is the background writeback period for buffered
+	// (non-sync) writes; 0 disables background flushing.
+	FlushInterval simclock.Time
+	// UseElevator routes block I/O through a guest I/O scheduler
+	// (merging + sorted dispatch), configured by Elevator. The hypervisor
+	// then sees the post-elevator stream, as on a real guest.
+	UseElevator bool
+	Elevator    ElevatorConfig
+}
+
+// UFSConfig models Solaris UFS: 8 KB blocks, no journal. Reads round up to
+// the block while writes go out at application granularity, producing the
+// paper's 4 KB / 8 KB mix for Filebench OLTP (Figure 2(a)).
+func UFSConfig() PlainConfig {
+	return PlainConfig{
+		Type:           "ufs",
+		BlockBytes:     8 << 10,
+		MaxIOBytes:     128 << 10,
+		PageCacheBytes: 64 << 20,
+		FlushInterval:  5 * simclock.Second,
+	}
+}
+
+// Ext3Config models Linux ext3 (data=ordered): 4 KB blocks plus a
+// sequential journal, the substrate under DBT-2/PostgreSQL (§4.2).
+func Ext3Config() PlainConfig {
+	return PlainConfig{
+		Type:           "ext3",
+		BlockBytes:     4 << 10,
+		MaxIOBytes:     128 << 10,
+		Journal:        true,
+		JournalBytes:   128 << 20,
+		PageCacheBytes: 64 << 20,
+		FlushInterval:  5 * simclock.Second,
+	}
+}
+
+// NTFSXPConfig and NTFSVistaConfig model the NTFS stacks behind the paper's
+// file-copy comparison (§4.3): identical on-disk behaviour, but the copy
+// pipeline's transfer size is 64 KB on XP and 1 MB on Vista.
+func NTFSXPConfig() PlainConfig {
+	return PlainConfig{
+		Type:           "ntfs-xp",
+		BlockBytes:     4 << 10,
+		MaxIOBytes:     64 << 10,
+		Journal:        true,
+		JournalBytes:   64 << 20,
+		PageCacheBytes: 128 << 20,
+		FlushInterval:  simclock.Second,
+	}
+}
+
+// NTFSVistaConfig is NTFS with Vista's 1 MB copy-engine transfers.
+func NTFSVistaConfig() PlainConfig {
+	cfg := NTFSXPConfig()
+	cfg.Type = "ntfs-vista"
+	cfg.MaxIOBytes = 1 << 20
+	return cfg
+}
+
+// plainFS implements the in-place family.
+type plainFS struct {
+	cfg   PlainConfig
+	eng   *simclock.Engine
+	disk  *vscsi.Disk
+	cache *pageCache
+
+	files  map[string]*File
+	nextID int
+
+	cursor        uint64 // next free data sector (bump allocator)
+	journalStart  uint64
+	journalEnd    uint64
+	journalCursor uint64
+
+	elevator *Elevator
+	flusher  *simclock.Ticker
+}
+
+// NewPlain formats a virtual disk with an update-in-place filesystem model.
+func NewPlain(eng *simclock.Engine, disk *vscsi.Disk, cfg PlainConfig) FS {
+	if cfg.BlockBytes <= 0 || cfg.BlockBytes%512 != 0 {
+		panic("fs: block size must be a positive multiple of 512")
+	}
+	if cfg.MaxIOBytes < cfg.BlockBytes {
+		panic("fs: max I/O smaller than a block")
+	}
+	cfg.recordBytes = 4 << 10
+	p := &plainFS{
+		cfg:   cfg,
+		eng:   eng,
+		disk:  disk,
+		cache: newPageCache(cfg.PageCacheBytes, cfg.BlockBytes),
+		files: make(map[string]*File),
+	}
+	if cfg.Journal {
+		p.journalStart = 64 // superblock area
+		p.journalEnd = p.journalStart + uint64(cfg.JournalBytes/512)
+		p.journalCursor = p.journalStart
+		p.cursor = p.journalEnd
+	} else {
+		p.cursor = 64
+	}
+	if cfg.UseElevator {
+		ecfg := cfg.Elevator
+		if ecfg.MaxMergeBytes == 0 {
+			ecfg = DefaultElevatorConfig()
+		}
+		p.elevator = NewElevator(eng, disk, ecfg)
+	}
+	if cfg.FlushInterval > 0 && cfg.PageCacheBytes > 0 {
+		p.flusher = simclock.NewTicker(eng, cfg.FlushInterval, func(simclock.Time) {
+			p.flushAll(func(error) {})
+		})
+	}
+	return p
+}
+
+func (p *plainFS) Name() string { return p.cfg.Type }
+
+func (p *plainFS) Create(name string, size int64) (*File, error) {
+	if _, dup := p.files[name]; dup {
+		return nil, fmt.Errorf("%w: %q", ErrExists, name)
+	}
+	blocks := (size + p.cfg.BlockBytes - 1) / p.cfg.BlockBytes
+	sectors := uint64(blocks * p.cfg.BlockBytes / 512)
+	if p.cursor+sectors > p.disk.CapacitySectors() {
+		return nil, fmt.Errorf("%w: creating %q (%d bytes)", ErrNoSpace, name, size)
+	}
+	f := &File{fs: p, name: name, id: p.nextID, ext: blocks * p.cfg.BlockBytes, base: p.cursor}
+	p.nextID++
+	p.cursor += sectors
+	p.files[name] = f
+	return f, nil
+}
+
+func (p *plainFS) Open(name string) (*File, error) {
+	f, ok := p.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, name)
+	}
+	return f, nil
+}
+
+// read fetches block-granular extents, coalescing page-cache misses into
+// contiguous disk runs split at MaxIOBytes.
+func (p *plainFS) read(f *File, off, length int64, done func(error)) {
+	if err := f.checkRange(off, length, false); err != nil {
+		done(err)
+		return
+	}
+	bs := p.cfg.BlockBytes
+	first, last := off/bs, (off+length-1)/bs
+	type run struct{ start, n int64 }
+	var runs []run
+	for b := first; b <= last; b++ {
+		if p.cache.lookup(pageKey{f.id, b}) {
+			continue
+		}
+		if len(runs) > 0 && runs[len(runs)-1].start+runs[len(runs)-1].n == b {
+			runs[len(runs)-1].n++
+		} else {
+			runs = append(runs, run{b, 1})
+		}
+	}
+	if len(runs) == 0 {
+		done(nil) // fully cached: no disk I/O at all
+		return
+	}
+	var ios int
+	maxBlocks := p.cfg.MaxIOBytes / bs
+	for _, r := range runs {
+		ios += int((r.n + maxBlocks - 1) / maxBlocks)
+	}
+	cb := multiDone(ios, func(err error) {
+		if err == nil {
+			for _, r := range runs {
+				for b := r.start; b < r.start+r.n; b++ {
+					p.writeBack(p.cache.insert(pageKey{f.id, b}, false))
+				}
+			}
+		}
+		done(err)
+	})
+	for _, r := range runs {
+		for b := r.start; b < r.start+r.n; b += maxBlocks {
+			n := min64(maxBlocks, r.start+r.n-b)
+			lba := f.base + uint64(b*bs/512)
+			p.issue(scsi.Read(lba, uint32(n*bs/512)), cb)
+		}
+	}
+}
+
+// write either goes straight to disk (sync) or dirties the page cache for
+// the background flusher (buffered).
+func (p *plainFS) write(f *File, off, length int64, sync bool, done func(error)) {
+	if err := f.checkRange(off, length, true); err != nil {
+		done(err)
+		return
+	}
+	if !sync && p.cache.capacity > 0 {
+		bs := p.cfg.BlockBytes
+		var evicted []pageKey
+		for b := off / bs; b <= (off+length-1)/bs; b++ {
+			evicted = append(evicted, p.cache.insert(pageKey{f.id, b}, true)...)
+		}
+		p.writeBack(evicted)
+		done(nil)
+		return
+	}
+	// Synchronous write at application granularity, sector-aligned.
+	start := off &^ 511
+	end := (off + length + 511) &^ 511
+	ios := int((end - start + p.cfg.MaxIOBytes - 1) / p.cfg.MaxIOBytes)
+	journal := p.cfg.Journal && off+length >= f.size // size-changing commit
+	if journal {
+		ios++
+	}
+	cb := multiDone(ios, func(err error) {
+		if err == nil {
+			bs := p.cfg.BlockBytes
+			for b := off / bs; b <= (off+length-1)/bs; b++ {
+				p.cache.clean(pageKey{f.id, b})
+				p.writeBack(p.cache.insert(pageKey{f.id, b}, false))
+			}
+		}
+		done(err)
+	})
+	for cur := start; cur < end; cur += p.cfg.MaxIOBytes {
+		n := min64(p.cfg.MaxIOBytes, end-cur)
+		p.issue(scsi.Write(f.base+uint64(cur/512), uint32(n/512)), cb)
+	}
+	if journal {
+		p.journalAppend(cb)
+	}
+}
+
+// journalAppend writes one commit record at the journal cursor, wrapping at
+// the region's end — the strictly sequential component of the disk workload.
+func (p *plainFS) journalAppend(cb func(error)) {
+	sectors := uint32(p.cfg.recordBytes / 512)
+	if p.journalCursor+uint64(sectors) > p.journalEnd {
+		p.journalCursor = p.journalStart
+	}
+	p.issue(scsi.Write(p.journalCursor, sectors), cb)
+	p.journalCursor += uint64(sectors)
+}
+
+// Sync flushes every dirty page and, on journaling systems, commits; with
+// an elevator, pending scheduler queues dispatch first (fsync barrier).
+func (p *plainFS) Sync(done func(error)) {
+	if p.elevator != nil {
+		p.elevator.Flush()
+	}
+	p.flushAll(done)
+}
+
+func (p *plainFS) flushAll(done func(error)) {
+	dirty := p.cache.dirtyPages()
+	if len(dirty) == 0 {
+		done(nil)
+		return
+	}
+	// Coalesce per file into contiguous runs, in block order.
+	sort.Slice(dirty, func(i, j int) bool {
+		if dirty[i].file != dirty[j].file {
+			return dirty[i].file < dirty[j].file
+		}
+		return dirty[i].block < dirty[j].block
+	})
+	type run struct {
+		file     int
+		start, n int64
+	}
+	var runs []run
+	for _, k := range dirty {
+		if len(runs) > 0 && runs[len(runs)-1].file == k.file &&
+			runs[len(runs)-1].start+runs[len(runs)-1].n == k.block {
+			runs[len(runs)-1].n++
+		} else {
+			runs = append(runs, run{k.file, k.block, 1})
+		}
+	}
+	fileByID := make(map[int]*File, len(p.files))
+	for _, f := range p.files {
+		fileByID[f.id] = f
+	}
+	bs := p.cfg.BlockBytes
+	maxBlocks := p.cfg.MaxIOBytes / bs
+	var ios int
+	for _, r := range runs {
+		ios += int((r.n + maxBlocks - 1) / maxBlocks)
+	}
+	if p.cfg.Journal {
+		ios++
+	}
+	cb := multiDone(ios, done)
+	for _, r := range runs {
+		f := fileByID[r.file]
+		for b := r.start; b < r.start+r.n; b += maxBlocks {
+			n := min64(maxBlocks, r.start+r.n-b)
+			p.issue(scsi.Write(f.base+uint64(b*bs/512), uint32(n*bs/512)), cb)
+		}
+	}
+	if p.cfg.Journal {
+		p.journalAppend(cb)
+	}
+}
+
+// writeBack writes dirty pages evicted under memory pressure.
+func (p *plainFS) writeBack(evicted []pageKey) {
+	if len(evicted) == 0 {
+		return
+	}
+	fileByID := make(map[int]*File, len(p.files))
+	for _, f := range p.files {
+		fileByID[f.id] = f
+	}
+	bs := p.cfg.BlockBytes
+	for _, k := range evicted {
+		f := fileByID[k.file]
+		if f == nil {
+			continue
+		}
+		p.issue(scsi.Write(f.base+uint64(k.block*bs/512), uint32(bs/512)), func(error) {})
+	}
+}
+
+func (p *plainFS) issue(cmd scsi.Command, cb func(error)) {
+	if p.elevator != nil && cmd.Op.IsBlockIO() {
+		p.elevator.Submit(cmd.Op.IsWrite(), cmd.LBA, cmd.Blocks,
+			func(r *vscsi.Request) { cb(reqErr(r)) })
+		return
+	}
+	if _, err := p.disk.Issue(cmd, func(r *vscsi.Request) { cb(reqErr(r)) }); err != nil {
+		cb(err)
+	}
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

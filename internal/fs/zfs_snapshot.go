@@ -1,0 +1,141 @@
+package fs
+
+import (
+	"fmt"
+
+	"vscsistats/internal/scsi"
+)
+
+// ZFS snapshots fall out of copy-on-write for free: a snapshot pins the
+// block-pointer map as of a txg boundary, and because live writes always
+// relocate records, the pinned locations stay valid without copying a byte.
+// Reading an old snapshot while the live dataset churns produces the
+// distinctive two-region I/O pattern (old extents vs the COW frontier) that
+// the characterization service makes visible.
+
+// Snapshotter is implemented by filesystems supporting point-in-time
+// snapshots. Among this repository's models only ZFS does; assert for it:
+//
+//	z := fsys.(fs.Snapshotter)
+type Snapshotter interface {
+	// TakeSnapshot forces pending state to disk (a txg) and pins the
+	// on-disk layout under the given name.
+	TakeSnapshot(name string, done func(error))
+	// OpenSnapshot returns a read-only view of a file as of the snapshot.
+	OpenSnapshot(snapshot, file string) (*File, error)
+	// Snapshots lists snapshot names in creation order.
+	Snapshots() []string
+}
+
+// zfsSnapshot is one pinned layout.
+type zfsSnapshot struct {
+	name      string
+	recordLoc map[pageKey]uint64
+	sizes     map[int]int64
+}
+
+var _ Snapshotter = (*zfs)(nil)
+
+// TakeSnapshot implements Snapshotter: sync, then pin.
+func (z *zfs) TakeSnapshot(name string, done func(error)) {
+	for _, s := range z.snapshots {
+		if s.name == name {
+			done(fmt.Errorf("%w: snapshot %q", ErrExists, name))
+			return
+		}
+	}
+	z.txg(func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		snap := &zfsSnapshot{
+			name:      name,
+			recordLoc: make(map[pageKey]uint64, len(z.recordLoc)),
+			sizes:     make(map[int]int64, len(z.files)),
+		}
+		for k, v := range z.recordLoc {
+			snap.recordLoc[k] = v
+		}
+		for _, f := range z.files {
+			snap.sizes[f.id] = f.size
+		}
+		z.snapshots = append(z.snapshots, snap)
+		done(nil)
+	})
+}
+
+// Snapshots implements Snapshotter.
+func (z *zfs) Snapshots() []string {
+	out := make([]string, len(z.snapshots))
+	for i, s := range z.snapshots {
+		out[i] = s.name
+	}
+	return out
+}
+
+// OpenSnapshot implements Snapshotter.
+func (z *zfs) OpenSnapshot(snapshot, file string) (*File, error) {
+	var snap *zfsSnapshot
+	for _, s := range z.snapshots {
+		if s.name == snapshot {
+			snap = s
+		}
+	}
+	if snap == nil {
+		return nil, fmt.Errorf("%w: snapshot %q", ErrNotFound, snapshot)
+	}
+	live, ok := z.files[file]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, file)
+	}
+	size, ok := snap.sizes[live.id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q predates snapshot %q", ErrNotFound, file, snapshot)
+	}
+	view := &zfsSnapshotView{zfs: z, snap: snap}
+	return &File{fs: view, name: snapshot + "@" + file, id: live.id, size: size, ext: live.ext}, nil
+}
+
+// zfsSnapshotView serves reads from a pinned layout. It bypasses the live
+// ARC deliberately: a snapshot scan (backup, clone verification) is exactly
+// the cold sequential-ish read stream administrators see in practice.
+type zfsSnapshotView struct {
+	zfs  *zfs
+	snap *zfsSnapshot
+}
+
+func (v *zfsSnapshotView) Name() string { return v.zfs.Name() + "@" + v.snap.name }
+
+func (v *zfsSnapshotView) Create(string, int64) (*File, error) {
+	return nil, fmt.Errorf("fs: snapshot %q is read-only", v.snap.name)
+}
+
+func (v *zfsSnapshotView) Open(name string) (*File, error) {
+	return v.zfs.OpenSnapshot(v.snap.name, name)
+}
+
+func (v *zfsSnapshotView) Sync(done func(error)) { done(nil) }
+
+func (v *zfsSnapshotView) read(f *File, off, length int64, done func(error)) {
+	if err := f.checkRange(off, length, false); err != nil {
+		done(err)
+		return
+	}
+	rb := v.zfs.cfg.RecordBytes
+	first, last := off/rb, (off+length-1)/rb
+	n := int(last - first + 1)
+	cb := multiDone(n, done)
+	for rec := first; rec <= last; rec++ {
+		loc, ok := v.snap.recordLoc[pageKey{f.id, rec}]
+		if !ok {
+			cb(fmt.Errorf("%w: record %d missing from snapshot", ErrNotFound, rec))
+			continue
+		}
+		v.zfs.issue(scsi.Read(loc, uint32(v.zfs.recordSectors())), cb)
+	}
+}
+
+func (v *zfsSnapshotView) write(f *File, off, length int64, sync bool, done func(error)) {
+	done(fmt.Errorf("fs: snapshot %q is read-only", v.snap.name))
+}

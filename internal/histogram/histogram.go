@@ -1,0 +1,382 @@
+// Package histogram implements the online histograms at the heart of the
+// IISWC 2007 paper "Easy and Efficient Disk I/O Workload Characterization in
+// VMware ESX Server".
+//
+// A Histogram has a fixed set of irregular bin upper edges chosen up front
+// (see bins.go for the paper's standard bin sets) plus an implicit overflow
+// bin. Insertion is O(log m) in the number of bins and lock-free, so a
+// histogram can sit on the hypervisor's per-command fast path: the paper's
+// key claim is that this costs O(1) CPU per command and O(m) space total,
+// versus O(n) space for a trace.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram counts int64 samples into bins with fixed upper edges. The bin
+// for a sample v is the first edge e with v <= e; samples larger than every
+// edge land in the overflow bin. Alongside the bins it tracks count, sum,
+// min and max so exact means survive binning.
+//
+// All methods are safe for concurrent use.
+type Histogram struct {
+	name   string
+	unit   string
+	edges  []int64 // sorted ascending, immutable after construction
+	counts []atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Int64
+	min    atomic.Int64
+	max    atomic.Int64
+}
+
+// New returns a histogram with the given bin upper edges. The edges must be
+// strictly increasing; New panics otherwise since bin layout is a
+// compile-time decision in this system. name and unit are used only for
+// rendering (e.g. "I/O Length", "bytes").
+func New(name, unit string, edges []int64) *Histogram {
+	if len(edges) == 0 {
+		panic("histogram: need at least one bin edge")
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic(fmt.Sprintf("histogram: edges not strictly increasing at %d: %d <= %d",
+				i, edges[i], edges[i-1]))
+		}
+	}
+	h := &Histogram{
+		name:   name,
+		unit:   unit,
+		edges:  append([]int64(nil), edges...),
+		counts: make([]atomic.Int64, len(edges)+1),
+	}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// Name returns the display name given at construction.
+func (h *Histogram) Name() string { return h.name }
+
+// Unit returns the sample unit given at construction.
+func (h *Histogram) Unit() string { return h.unit }
+
+// NumBins returns the number of bins including the overflow bin.
+func (h *Histogram) NumBins() int { return len(h.counts) }
+
+// BinIndex returns the bin a value of v would be counted in.
+func (h *Histogram) BinIndex(v int64) int {
+	// sort.Search finds the first edge >= v, i.e. the first bin whose
+	// upper edge admits v.
+	return sort.Search(len(h.edges), func(i int) bool { return h.edges[i] >= v })
+}
+
+// Insert counts one sample. This is the hypervisor fast-path operation: a
+// binary search over a handful of edges plus five atomic updates.
+func (h *Histogram) Insert(v int64) {
+	h.counts[h.BinIndex(v)].Add(1)
+	h.total.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// InsertN counts n identical samples (used by trace replay).
+func (h *Histogram) InsertN(v, n int64) {
+	if n <= 0 {
+		return
+	}
+	h.counts[h.BinIndex(v)].Add(n)
+	h.total.Add(n)
+	h.sum.Add(v * n)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Reset zeroes all bins and summary statistics.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.total.Store(0)
+	h.sum.Store(0)
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+}
+
+// Total returns the number of samples inserted.
+func (h *Histogram) Total() int64 { return h.total.Load() }
+
+// Snapshot copies the current state into an immutable Snapshot. Concurrent
+// inserts may straddle the copy; per the paper this tearing is acceptable
+// for monitoring (each individual counter is still consistent).
+func (h *Histogram) Snapshot() *Snapshot {
+	s := &Snapshot{
+		Name:   h.name,
+		Unit:   h.unit,
+		Edges:  h.edges, // immutable, shared
+		Counts: make([]int64, len(h.counts)),
+		Total:  h.total.Load(),
+		Sum:    h.sum.Load(),
+		Min:    h.min.Load(),
+		Max:    h.max.Load(),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	if s.Total == 0 {
+		s.Min, s.Max = 0, 0
+	}
+	return s
+}
+
+// Snapshot is an immutable copy of a histogram's state, suitable for
+// rendering, diffing and serialization.
+type Snapshot struct {
+	Name   string  `json:"name"`
+	Unit   string  `json:"unit"`
+	Edges  []int64 `json:"edges"`
+	Counts []int64 `json:"counts"` // len(Edges)+1; last is the overflow bin
+	Total  int64   `json:"total"`
+	Sum    int64   `json:"sum"`
+	Min    int64   `json:"min"`
+	Max    int64   `json:"max"`
+}
+
+// Mean returns the exact arithmetic mean of inserted samples (tracked
+// alongside the bins, not estimated from them). Zero when empty.
+func (s *Snapshot) Mean() float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Total)
+}
+
+// Fraction returns bin i's share of all samples, in [0,1].
+func (s *Snapshot) Fraction(i int) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Counts[i]) / float64(s.Total)
+}
+
+// BinLabel renders bin i's upper edge: the edge value for regular bins and
+// ">lastEdge" for the overflow bin, matching the paper's figure axes.
+func (s *Snapshot) BinLabel(i int) string {
+	if i == len(s.Edges) {
+		return fmt.Sprintf(">%d", s.Edges[len(s.Edges)-1])
+	}
+	return fmt.Sprintf("%d", s.Edges[i])
+}
+
+// BinRange describes the half-open interval (lo, hi] covered by bin i. The
+// first bin's lo is math.MinInt64 and the overflow bin's hi is
+// math.MaxInt64.
+func (s *Snapshot) BinRange(i int) (lo, hi int64) {
+	lo = math.MinInt64
+	if i > 0 {
+		lo = s.Edges[i-1]
+	}
+	hi = int64(math.MaxInt64)
+	if i < len(s.Edges) {
+		hi = s.Edges[i]
+	}
+	return lo, hi
+}
+
+// Percentile estimates the p-th percentile (p in [0,100]) from the binned
+// counts, resolving to a bin upper edge; the true min/max clamp the ends.
+// This is an estimate: binning discards intra-bin placement.
+func (s *Snapshot) Percentile(p float64) int64 {
+	if s.Total == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return s.Min
+	}
+	if p >= 100 {
+		return s.Max
+	}
+	rank := int64(math.Ceil(float64(s.Total) * p / 100))
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			if i == len(s.Edges) {
+				return s.Max
+			}
+			e := s.Edges[i]
+			if e > s.Max {
+				return s.Max
+			}
+			if e < s.Min {
+				return s.Min
+			}
+			return e
+		}
+	}
+	return s.Max
+}
+
+// Add accumulates o's bins into s. The histograms must share an identical
+// bin layout; Add panics otherwise since mixing layouts silently corrupts
+// counts.
+func (s *Snapshot) Add(o *Snapshot) {
+	s.mustMatch(o)
+	for i := range s.Counts {
+		s.Counts[i] += o.Counts[i]
+	}
+	s.Total += o.Total
+	s.Sum += o.Sum
+	switch {
+	case s.Total == o.Total: // s was empty
+		s.Min, s.Max = o.Min, o.Max
+	case o.Total == 0:
+	default:
+		if o.Min < s.Min {
+			s.Min = o.Min
+		}
+		if o.Max > s.Max {
+			s.Max = o.Max
+		}
+	}
+}
+
+// Sub returns s minus earlier, the histogram of samples inserted between the
+// two snapshots. Min/Max cannot be recovered for an interval, so the result
+// carries the later snapshot's values.
+func (s *Snapshot) Sub(earlier *Snapshot) *Snapshot {
+	s.mustMatch(earlier)
+	d := &Snapshot{
+		Name:   s.Name,
+		Unit:   s.Unit,
+		Edges:  s.Edges,
+		Counts: make([]int64, len(s.Counts)),
+		Total:  s.Total - earlier.Total,
+		Sum:    s.Sum - earlier.Sum,
+		Min:    s.Min,
+		Max:    s.Max,
+	}
+	for i := range s.Counts {
+		d.Counts[i] = s.Counts[i] - earlier.Counts[i]
+	}
+	return d
+}
+
+// Clone returns a deep copy.
+func (s *Snapshot) Clone() *Snapshot {
+	c := *s
+	c.Counts = append([]int64(nil), s.Counts...)
+	return &c
+}
+
+func (s *Snapshot) mustMatch(o *Snapshot) {
+	if len(s.Edges) != len(o.Edges) {
+		panic("histogram: bin layout mismatch")
+	}
+	for i := range s.Edges {
+		if s.Edges[i] != o.Edges[i] {
+			panic("histogram: bin layout mismatch")
+		}
+	}
+}
+
+// estimateBounds fills Min/Max from the outermost nonzero bins' ranges, for
+// snapshots derived without exact sample extrema (2-D marginals and
+// conditionals). Percentile's clamping needs plausible bounds.
+func (s *Snapshot) estimateBounds() {
+	if s.Total == 0 {
+		return
+	}
+	first, last := -1, -1
+	for i, c := range s.Counts {
+		if c > 0 {
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+	}
+	lo, _ := s.BinRange(first)
+	_, hi := s.BinRange(last)
+	s.Min = lo + 1
+	s.Max = hi
+	if first == 0 {
+		s.Min = lo // open-ended low bin: MinInt64 stays
+	}
+}
+
+// Rebin collapses the snapshot onto a coarser set of edges (the paper's §4:
+// "a post-processing script could easily compress ranges back into powers of
+// two"). Every source bin must nest inside a destination bin, i.e. each new
+// edge must be one of the old edges; Rebin panics otherwise because
+// splitting a bin is impossible after the fact.
+func (s *Snapshot) Rebin(edges []int64) *Snapshot {
+	out := &Snapshot{
+		Name:   s.Name,
+		Unit:   s.Unit,
+		Edges:  append([]int64(nil), edges...),
+		Counts: make([]int64, len(edges)+1),
+		Total:  s.Total,
+		Sum:    s.Sum,
+		Min:    s.Min,
+		Max:    s.Max,
+	}
+	j := 0 // index into new edges
+	for i, c := range s.Counts {
+		if i < len(s.Edges) {
+			for j < len(edges) && edges[j] < s.Edges[i] {
+				j++
+			}
+			if j < len(edges) && i > 0 && edges[j] >= s.Edges[i] {
+				// Verify nesting: the previous new edge must not split
+				// this source bin.
+				if j > 0 && edges[j-1] > s.Edges[i-1] && edges[j-1] < s.Edges[i] {
+					panic("histogram: Rebin edge splits a source bin")
+				}
+			}
+			if j < len(edges) {
+				out.Counts[j] += c
+			} else {
+				out.Counts[len(edges)] += c
+			}
+		} else {
+			out.Counts[len(edges)] += c
+		}
+	}
+	return out
+}
+
+// PowerOfTwoEdges returns ascending powers of two covering [lo, hi],
+// e.g. PowerOfTwoEdges(512, 4096) = [512 1024 2048 4096].
+func PowerOfTwoEdges(lo, hi int64) []int64 {
+	var edges []int64
+	for v := lo; v <= hi && v > 0; v *= 2 {
+		edges = append(edges, v)
+	}
+	return edges
+}

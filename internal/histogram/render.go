@@ -1,0 +1,105 @@
+package histogram
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the snapshot as an ASCII bar chart, one row per bin,
+// mirroring the paper's figure format (bin upper edge on the axis, frequency
+// as the bar).
+func (s *Snapshot) String() string {
+	return s.Render(50)
+}
+
+// Render renders the snapshot with bars scaled to at most width characters.
+func (s *Snapshot) Render(width int) string {
+	if width < 1 {
+		width = 1
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): %d samples", s.Name, s.Unit, s.Total)
+	if s.Total > 0 {
+		fmt.Fprintf(&b, ", min=%d max=%d mean=%.1f", s.Min, s.Max, s.Mean())
+	}
+	b.WriteByte('\n')
+	var peak int64 = 1
+	for _, c := range s.Counts {
+		if c > peak {
+			peak = c
+		}
+	}
+	for i, c := range s.Counts {
+		bar := int(c * int64(width) / peak)
+		if c > 0 && bar == 0 {
+			bar = 1
+		}
+		fmt.Fprintf(&b, "%12s |%-*s %d\n", s.BinLabel(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}
+
+// CSV renders the snapshot as two-column CSV ("bin,frequency") with a header
+// naming the histogram, suitable for regenerating the paper's charts in a
+// spreadsheet.
+func (s *Snapshot) CSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "bin (%s),frequency\n", s.Unit)
+	for i, c := range s.Counts {
+		fmt.Fprintf(&b, "%s,%d\n", s.BinLabel(i), c)
+	}
+	return b.String()
+}
+
+// CompareCSV renders several snapshots side by side ("bin,name1,name2,…"),
+// the layout of the paper's overlaid figures (e.g. Figure 5's "Vista
+// Enterprise" vs "XP Pro" series). All snapshots must share a bin layout.
+func CompareCSV(snaps ...*Snapshot) string {
+	if len(snaps) == 0 {
+		return ""
+	}
+	first := snaps[0]
+	for _, s := range snaps[1:] {
+		first.mustMatch(s)
+	}
+	var b strings.Builder
+	b.WriteString("bin (" + first.Unit + ")")
+	for _, s := range snaps {
+		b.WriteString("," + s.Name)
+	}
+	b.WriteByte('\n')
+	for i := range first.Counts {
+		b.WriteString(first.BinLabel(i))
+		for _, s := range snaps {
+			fmt.Fprintf(&b, ",%d", s.Counts[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderCompare renders multiple snapshots as a side-by-side ASCII table.
+func RenderCompare(title string, snaps ...*Snapshot) string {
+	if len(snaps) == 0 {
+		return ""
+	}
+	first := snaps[0]
+	for _, s := range snaps[1:] {
+		first.mustMatch(s)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s)\n", title, first.Unit)
+	fmt.Fprintf(&b, "%12s", "bin")
+	for _, s := range snaps {
+		fmt.Fprintf(&b, " %14s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i := range first.Counts {
+		fmt.Fprintf(&b, "%12s", first.BinLabel(i))
+		for _, s := range snaps {
+			fmt.Fprintf(&b, " %14d", s.Counts[i])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

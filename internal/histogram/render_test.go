@@ -1,0 +1,82 @@
+package histogram
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderASCII(t *testing.T) {
+	h := New("I/O Length", "bytes", []int64{4096, 8192})
+	for i := 0; i < 10; i++ {
+		h.Insert(4096)
+	}
+	h.Insert(5000)
+	out := h.Snapshot().Render(40)
+	if !strings.Contains(out, "I/O Length (bytes): 11 samples") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + 3 bins
+		t.Fatalf("expected 4 lines, got %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], strings.Repeat("#", 40)) {
+		t.Errorf("peak bin should fill width:\n%s", lines[1])
+	}
+	// A nonzero bin must show at least one mark even if tiny.
+	if !strings.Contains(lines[2], "#") {
+		t.Errorf("nonzero bin rendered empty:\n%s", lines[2])
+	}
+	if strings.Contains(lines[3], "#") {
+		t.Errorf("zero bin rendered nonempty:\n%s", lines[3])
+	}
+}
+
+func TestRenderMinWidth(t *testing.T) {
+	h := New("t", "u", []int64{1})
+	h.Insert(1)
+	if out := h.Snapshot().Render(0); !strings.Contains(out, "#") {
+		t.Errorf("Render(0) should clamp width:\n%s", out)
+	}
+}
+
+func TestCSV(t *testing.T) {
+	h := New("t", "bytes", []int64{512, 1024})
+	h.Insert(100)
+	h.Insert(2000)
+	csv := h.Snapshot().CSV()
+	want := "bin (bytes),frequency\n512,1\n1024,0\n>1024,1\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestCompareCSV(t *testing.T) {
+	a := New("XP Pro", "bytes", []int64{512})
+	b := New("Vista Enterprise", "bytes", []int64{512})
+	a.Insert(100)
+	b.Insert(9999)
+	out := CompareCSV(a.Snapshot(), b.Snapshot())
+	if !strings.Contains(out, "XP Pro,Vista Enterprise") {
+		t.Errorf("header: %s", out)
+	}
+	if !strings.Contains(out, "512,1,0") || !strings.Contains(out, ">512,0,1") {
+		t.Errorf("rows: %s", out)
+	}
+	if CompareCSV() != "" {
+		t.Error("CompareCSV() with no args should be empty")
+	}
+}
+
+func TestRenderCompare(t *testing.T) {
+	a := New("solo", "us", []int64{100})
+	b := New("dual", "us", []int64{100})
+	a.Insert(50)
+	b.Insert(500)
+	out := RenderCompare("Latency", a.Snapshot(), b.Snapshot())
+	if !strings.Contains(out, "solo") || !strings.Contains(out, "dual") || !strings.Contains(out, ">100") {
+		t.Errorf("RenderCompare:\n%s", out)
+	}
+	if RenderCompare("x") != "" {
+		t.Error("no snapshots should render empty")
+	}
+}

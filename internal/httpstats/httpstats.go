@@ -1,0 +1,191 @@
+// Package httpstats exposes a host's characterization service over HTTP —
+// the moral equivalent of the paper's /proc/vmware/scsi stats node (§5.2),
+// done the way a modern control plane would: JSON snapshots per virtual
+// disk, plus enable/disable/reset controls.
+//
+// Routes:
+//
+//	GET  /disks                          list (vm, disk, enabled, commands)
+//	GET  /disks/{vm}/{disk}              full snapshot as JSON
+//	GET  /disks/{vm}/{disk}/histogram?metric=ioLength&class=reads
+//	GET  /disks/{vm}/{disk}/fingerprint  classification + recommendations
+//	POST /disks/{vm}/{disk}/enable       turn the service on
+//	POST /disks/{vm}/{disk}/disable      turn it off (data retained)
+//	POST /disks/{vm}/{disk}/reset        discard accumulated data
+package httpstats
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"vscsistats/internal/core"
+)
+
+// Handler serves a registry. The simulation itself is single-threaded; the
+// collectors' histograms are safe for concurrent reads, so serving while a
+// simulation runs on another goroutine is safe for monitoring purposes.
+type Handler struct {
+	reg *core.Registry
+}
+
+// New returns an http.Handler over the registry.
+func New(reg *core.Registry) *Handler { return &Handler{reg: reg} }
+
+// diskInfo is the list-view record.
+type diskInfo struct {
+	VM       string `json:"vm"`
+	Disk     string `json:"disk"`
+	Enabled  bool   `json:"enabled"`
+	Commands int64  `json:"commands"`
+}
+
+// ServeHTTP implements http.Handler.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	parts := splitPath(r.URL.Path)
+	if len(parts) == 0 || parts[0] != "disks" {
+		http.NotFound(w, r)
+		return
+	}
+	switch {
+	case len(parts) == 1:
+		h.list(w, r)
+	case len(parts) == 3:
+		h.snapshot(w, r, parts[1], parts[2])
+	case len(parts) == 4:
+		h.action(w, r, parts[1], parts[2], parts[3])
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func splitPath(p string) []string {
+	var out []string
+	for _, s := range strings.Split(p, "/") {
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func (h *Handler) list(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	var infos []diskInfo
+	for _, c := range h.reg.List() {
+		info := diskInfo{VM: c.VM(), Disk: c.Disk(), Enabled: c.Enabled()}
+		if s := c.Snapshot(); s != nil {
+			info.Commands = s.Commands
+		}
+		infos = append(infos, info)
+	}
+	writeJSON(w, infos)
+}
+
+func (h *Handler) lookup(w http.ResponseWriter, vm, disk string) *core.Collector {
+	c := h.reg.Lookup(vm, disk)
+	if c == nil {
+		http.Error(w, "unknown virtual disk", http.StatusNotFound)
+	}
+	return c
+}
+
+func (h *Handler) snapshot(w http.ResponseWriter, r *http.Request, vm, disk string) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	c := h.lookup(w, vm, disk)
+	if c == nil {
+		return
+	}
+	s := c.Snapshot()
+	if s == nil {
+		http.Error(w, "service never enabled for this disk", http.StatusConflict)
+		return
+	}
+	writeJSON(w, s)
+}
+
+func (h *Handler) action(w http.ResponseWriter, r *http.Request, vm, disk, verb string) {
+	c := h.lookup(w, vm, disk)
+	if c == nil {
+		return
+	}
+	switch verb {
+	case "histogram":
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s := c.Snapshot()
+		if s == nil {
+			http.Error(w, "service never enabled for this disk", http.StatusConflict)
+			return
+		}
+		metric := core.Metric(r.URL.Query().Get("metric"))
+		if metric == "" {
+			metric = core.MetricIOLength
+		}
+		class := core.All
+		switch r.URL.Query().Get("class") {
+		case "", "all":
+		case "reads":
+			class = core.Reads
+		case "writes":
+			class = core.Writes
+		default:
+			http.Error(w, "unknown class", http.StatusBadRequest)
+			return
+		}
+		hist := s.Histogram(metric, class)
+		if hist == nil {
+			http.Error(w, "unknown metric", http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, hist)
+	case "fingerprint":
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		s := c.Snapshot()
+		if s == nil {
+			http.Error(w, "service never enabled for this disk", http.StatusConflict)
+			return
+		}
+		fp := core.FingerprintOf(s)
+		writeJSON(w, struct {
+			core.Fingerprint
+			Recommendations []string `json:"recommendations"`
+		}{fp, fp.Recommendations()})
+	case "enable", "disable", "reset":
+		if r.Method != http.MethodPost {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		switch verb {
+		case "enable":
+			c.Enable()
+		case "disable":
+			c.Disable()
+		case "reset":
+			c.Reset()
+		}
+		writeJSON(w, map[string]bool{"enabled": c.Enabled()})
+	default:
+		http.NotFound(w, r)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

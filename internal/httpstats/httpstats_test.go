@@ -1,0 +1,167 @@
+package httpstats
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+func newServer(t *testing.T) (*httptest.Server, *core.Registry, func(n int)) {
+	t.Helper()
+	eng := simclock.NewEngine()
+	backend := vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		eng.After(simclock.Millisecond, func(simclock.Time) { done(scsi.StatusGood, scsi.Sense{}) })
+	})
+	d := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{VM: "vm1", Name: "scsi0:0", CapacitySectors: 1 << 20})
+	reg := core.NewRegistry()
+	col := core.NewCollector("vm1", "scsi0:0")
+	d.AddObserver(col)
+	reg.Register(col)
+	srv := httptest.NewServer(New(reg))
+	t.Cleanup(srv.Close)
+	issue := func(n int) {
+		for i := 0; i < n; i++ {
+			d.Issue(scsi.Read(uint64(i*8), 8), nil)
+		}
+		eng.Run()
+	}
+	return srv, reg, issue
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp.StatusCode, b.String()
+}
+
+func post(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+func TestListAndEnableFlow(t *testing.T) {
+	srv, _, issue := newServer(t)
+	code, body := get(t, srv.URL+"/disks")
+	if code != 200 || !strings.Contains(body, `"vm": "vm1"`) {
+		t.Fatalf("list: %d %s", code, body)
+	}
+	if !strings.Contains(body, `"enabled": false`) {
+		t.Errorf("should start disabled: %s", body)
+	}
+	// Snapshot before enabling: 409.
+	if code, _ := get(t, srv.URL+"/disks/vm1/scsi0:0"); code != http.StatusConflict {
+		t.Errorf("never-enabled snapshot code = %d", code)
+	}
+	if code := post(t, srv.URL+"/disks/vm1/scsi0:0/enable"); code != 200 {
+		t.Fatalf("enable: %d", code)
+	}
+	issue(10)
+	code, body = get(t, srv.URL+"/disks/vm1/scsi0:0")
+	if code != 200 {
+		t.Fatalf("snapshot: %d", code)
+	}
+	var snap core.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("snapshot JSON: %v", err)
+	}
+	if snap.Commands != 10 || snap.NumReads != 10 {
+		t.Errorf("snapshot: %+v", snap.Commands)
+	}
+}
+
+func TestHistogramEndpoint(t *testing.T) {
+	srv, _, issue := newServer(t)
+	post(t, srv.URL+"/disks/vm1/scsi0:0/enable")
+	issue(5)
+	code, body := get(t, srv.URL+"/disks/vm1/scsi0:0/histogram?metric=ioLength&class=reads")
+	if code != 200 || !strings.Contains(body, `"total": 5`) {
+		t.Fatalf("histogram: %d %s", code, body)
+	}
+	if code, _ := get(t, srv.URL+"/disks/vm1/scsi0:0/histogram?metric=bogus"); code != 400 {
+		t.Errorf("bad metric code = %d", code)
+	}
+	if code, _ := get(t, srv.URL+"/disks/vm1/scsi0:0/histogram?class=bogus"); code != 400 {
+		t.Errorf("bad class code = %d", code)
+	}
+}
+
+func TestFingerprintEndpoint(t *testing.T) {
+	srv, _, issue := newServer(t)
+	post(t, srv.URL+"/disks/vm1/scsi0:0/enable")
+	issue(50)
+	code, body := get(t, srv.URL+"/disks/vm1/scsi0:0/fingerprint")
+	if code != 200 || !strings.Contains(body, "recommendations") {
+		t.Fatalf("fingerprint: %d %s", code, body)
+	}
+	if !strings.Contains(body, "sequential") {
+		t.Errorf("sequential reads misclassified: %s", body)
+	}
+}
+
+func TestDisableAndReset(t *testing.T) {
+	srv, reg, issue := newServer(t)
+	post(t, srv.URL+"/disks/vm1/scsi0:0/enable")
+	issue(5)
+	if code := post(t, srv.URL+"/disks/vm1/scsi0:0/disable"); code != 200 {
+		t.Fatal("disable failed")
+	}
+	if reg.Lookup("vm1", "scsi0:0").Enabled() {
+		t.Error("still enabled")
+	}
+	post(t, srv.URL+"/disks/vm1/scsi0:0/reset")
+	if s := reg.Lookup("vm1", "scsi0:0").Snapshot(); s.Commands != 0 {
+		t.Errorf("reset left %d commands", s.Commands)
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	srv, _, _ := newServer(t)
+	cases := []struct {
+		method, path string
+		want         int
+	}{
+		{"GET", "/nope", 404},
+		{"GET", "/disks/vm1", 404},
+		{"GET", "/disks/ghost/disk", 404},
+		{"GET", "/disks/vm1/scsi0:0/bogus", 404},
+		{"POST", "/disks", 405},
+		{"GET", "/disks/vm1/scsi0:0/enable", 405},
+		{"POST", "/disks/vm1/scsi0:0/fingerprint", 405},
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, srv.URL+c.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package hypervisor
+
+import (
+	"strings"
+	"testing"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/storage"
+)
+
+func newHost(t *testing.T) (*simclock.Engine, *Host) {
+	t.Helper()
+	eng := simclock.NewEngine()
+	h := NewHost(eng)
+	h.AddDatastore("sym", storage.SymmetrixConfig(1))
+	return eng, h
+}
+
+func TestProvisionAndIssue(t *testing.T) {
+	eng, h := newHost(t)
+	vm := h.CreateVM("oltp")
+	vd, err := vm.AddDisk(DiskSpec{Name: "scsi0:0", Datastore: "sym",
+		CapacitySectors: 1 << 22, TraceCapacity: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vd.Collector.Enable()
+	vd.Tracer.Enable()
+	for i := 0; i < 10; i++ {
+		vd.Disk.Issue(scsi.Read(uint64(i*16), 16), nil)
+	}
+	eng.Run()
+	if vd.Disk.Completed() != 10 {
+		t.Fatalf("completed = %d", vd.Disk.Completed())
+	}
+	s := vd.Collector.Snapshot()
+	if s.Commands != 10 || s.Latency[core.All].Total != 10 {
+		t.Errorf("collector: %d commands, %d latencies", s.Commands, s.Latency[core.All].Total)
+	}
+	if got := len(vd.Tracer.Records()); got != 10 {
+		t.Errorf("tracer: %d records", got)
+	}
+	// The registry sees the collector.
+	if h.Registry().Lookup("oltp", "scsi0:0") != vd.Collector {
+		t.Error("registry lookup failed")
+	}
+}
+
+func TestAddDiskErrors(t *testing.T) {
+	_, h := newHost(t)
+	vm := h.CreateVM("vm1")
+	if _, err := vm.AddDisk(DiskSpec{Name: "d", Datastore: "nope", CapacitySectors: 1}); err == nil {
+		t.Error("unknown datastore should fail")
+	}
+	if _, err := vm.AddDisk(DiskSpec{Name: "d", Datastore: "sym"}); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := vm.AddDisk(DiskSpec{Name: "d", Datastore: "sym", CapacitySectors: 1 << 50}); err == nil {
+		t.Error("over-capacity should fail")
+	}
+	if _, err := vm.AddDisk(DiskSpec{Name: "d", Datastore: "sym", CapacitySectors: 1024}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vm.AddDisk(DiskSpec{Name: "d", Datastore: "sym", CapacitySectors: 1024}); err == nil {
+		t.Error("duplicate disk should fail")
+	}
+}
+
+func TestDuplicateVMAndDatastorePanic(t *testing.T) {
+	_, h := newHost(t)
+	h.CreateVM("vm1")
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate VM should panic")
+			}
+		}()
+		h.CreateVM("vm1")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate datastore should panic")
+			}
+		}()
+		h.AddDatastore("sym", storage.CX3Config(2))
+	}()
+}
+
+func TestLUNsDoNotOverlap(t *testing.T) {
+	eng, h := newHost(t)
+	vmA := h.CreateVM("a")
+	vmB := h.CreateVM("b")
+	da, _ := vmA.AddDisk(DiskSpec{Name: "d", Datastore: "sym", CapacitySectors: 1 << 20})
+	db, _ := vmB.AddDisk(DiskSpec{Name: "d", Datastore: "sym", CapacitySectors: 1 << 20})
+	da.Collector.Enable()
+	db.Collector.Enable()
+	// Both VMs read "their" LBA 0; the LUN layer must translate to
+	// different array extents, which we can only observe indirectly: both
+	// succeed and are accounted separately.
+	da.Disk.Issue(scsi.Read(0, 8), nil)
+	db.Disk.Issue(scsi.Read(0, 8), nil)
+	eng.Run()
+	if da.Collector.Snapshot().Commands != 1 || db.Collector.Snapshot().Commands != 1 {
+		t.Error("per-disk accounting leaked across LUNs")
+	}
+	if h.Datastore("sym").Reads() != 2 {
+		t.Errorf("array reads = %d", h.Datastore("sym").Reads())
+	}
+}
+
+func TestVMsAndDisksSorted(t *testing.T) {
+	_, h := newHost(t)
+	h.CreateVM("zeta")
+	h.CreateVM("alpha")
+	vms := h.VMs()
+	if vms[0].Name() != "alpha" || vms[1].Name() != "zeta" {
+		t.Errorf("VM order: %v, %v", vms[0].Name(), vms[1].Name())
+	}
+	vm := vms[0]
+	vm.AddDisk(DiskSpec{Name: "scsi0:1", Datastore: "sym", CapacitySectors: 1024})
+	vm.AddDisk(DiskSpec{Name: "scsi0:0", Datastore: "sym", CapacitySectors: 1024})
+	disks := vm.Disks()
+	if disks[0].Disk.Name() != "scsi0:0" {
+		t.Errorf("disk order wrong")
+	}
+	if vm.Disk("scsi0:1") == nil || vm.Disk("nope") != nil {
+		t.Error("Disk lookup wrong")
+	}
+	if h.VM("alpha") != vm || h.VM("nope") != nil {
+		t.Error("VM lookup wrong")
+	}
+}
+
+func TestTopRendering(t *testing.T) {
+	eng, h := newHost(t)
+	vm := h.CreateVM("web")
+	vd, _ := vm.AddDisk(DiskSpec{Name: "scsi0:0", Datastore: "sym", CapacitySectors: 1 << 20})
+	vd.Disk.Issue(scsi.Read(0, 8), nil)
+	eng.Run()
+	top := h.Top()
+	if !strings.Contains(top, "web") || !strings.Contains(top, "scsi0:0") {
+		t.Errorf("Top:\n%s", top)
+	}
+}
+
+func TestEndToEndLatencySane(t *testing.T) {
+	eng, h := newHost(t)
+	vm := h.CreateVM("vm")
+	vd, _ := vm.AddDisk(DiskSpec{Name: "d", Datastore: "sym", CapacitySectors: 1 << 22})
+	vd.Collector.Enable()
+	// Sequential read stream: after warmup the array prefetch makes these
+	// cache hits in the sub-millisecond range.
+	for i := 0; i < 200; i++ {
+		i := i
+		eng.At(simclock.Time(i)*2*simclock.Millisecond, func(simclock.Time) {
+			vd.Disk.Issue(scsi.Read(uint64(i*16), 16), nil)
+		})
+	}
+	eng.Run()
+	s := vd.Collector.Snapshot()
+	lat := s.Latency[core.All]
+	if lat.Total != 200 {
+		t.Fatalf("latency samples = %d", lat.Total)
+	}
+	if lat.Mean() <= 0 || lat.Mean() > 50000 {
+		t.Errorf("mean latency %v us out of plausible range", lat.Mean())
+	}
+}
+
+func TestSharedDatastoreAcrossHosts(t *testing.T) {
+	eng := simclock.NewEngine()
+	hostA := NewHost(eng)
+	hostA.AddDatastore("san", storage.CX3NoCacheConfig(3))
+	hostB := NewHost(eng)
+	hostB.AddSharedDatastore("san", hostA.ExportDatastore("san"))
+
+	da, err := hostA.CreateVM("vmA").AddDisk(DiskSpec{Name: "d", Datastore: "san", CapacitySectors: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := hostB.CreateVM("vmB").AddDisk(DiskSpec{Name: "d", Datastore: "san", CapacitySectors: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LUNs must not overlap even across hosts: the second allocation
+	// starts where the first ended, observable via the shared array's
+	// single I/O counter and distinct latency behaviour is not needed —
+	// assert allocation accounting directly.
+	da.Collector.Enable()
+	db.Collector.Enable()
+	da.Disk.Issue(scsi.Read(0, 8), nil)
+	db.Disk.Issue(scsi.Read(0, 8), nil)
+	eng.Run()
+	if hostA.Datastore("san") != hostB.Datastore("san") {
+		t.Fatal("hosts do not share the array")
+	}
+	if hostA.Datastore("san").Reads() != 2 {
+		t.Errorf("shared array reads = %d", hostA.Datastore("san").Reads())
+	}
+	// Cross-host interference: a burst from vmB inflates vmA's latency on
+	// the cache-less shared spindles.
+	base := da.Collector.Snapshot().Latency[core.All].Mean()
+	for i := 0; i < 64; i++ {
+		db.Disk.Issue(scsi.Read(uint64(1<<18+i*1024), 8), nil)
+		da.Disk.Issue(scsi.Read(uint64(i*16), 8), nil)
+	}
+	eng.Run()
+	loaded := da.Collector.Snapshot().Latency[core.All].Mean()
+	if loaded <= base {
+		t.Errorf("cross-host interference invisible: %v -> %v", base, loaded)
+	}
+	if hostB.ExportDatastore("ghost") != nil {
+		t.Error("unknown export should be nil")
+	}
+}
+
+func TestDetachDiskAndRemoveVM(t *testing.T) {
+	eng, h := newHost(t)
+	vm := h.CreateVM("tenant")
+	vd, _ := vm.AddDisk(DiskSpec{Name: "scsi0:0", Datastore: "sym", CapacitySectors: 1 << 20})
+	vm.AddDisk(DiskSpec{Name: "scsi0:1", Datastore: "sym", CapacitySectors: 1 << 20})
+	vd.Disk.Issue(scsi.Read(0, 8), nil) // in flight across detach
+	vm.DetachDisk("scsi0:0")
+	if vm.Disk("scsi0:0") != nil {
+		t.Error("disk still attached")
+	}
+	if h.Registry().Lookup("tenant", "scsi0:0") != nil {
+		t.Error("collector still registered")
+	}
+	if _, err := vd.Disk.Issue(scsi.Read(0, 8), nil); err == nil {
+		t.Error("detached disk should refuse I/O")
+	}
+	eng.Run() // in-flight completion must not panic
+	if vd.Disk.Completed() != 1 {
+		t.Errorf("in-flight I/O lost: %d", vd.Disk.Completed())
+	}
+	vm.DetachDisk("ghost") // no-op
+	h.RemoveVM("tenant")
+	if h.VM("tenant") != nil || h.Registry().Lookup("tenant", "scsi0:1") != nil {
+		t.Error("RemoveVM incomplete")
+	}
+	h.RemoveVM("ghost") // no-op
+	// The name can be reused after removal.
+	h.CreateVM("tenant")
+}

@@ -1,0 +1,146 @@
+package report
+
+import (
+	"fmt"
+	"testing"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/hypervisor"
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/storage"
+	"vscsistats/internal/vscsi"
+	"vscsistats/internal/workload"
+)
+
+// Table2Overhead regenerates Table 2: the cost of the online histogram
+// service, measured two ways.
+//
+// The throughput/latency rows come from the simulated Iometer 4 KB
+// sequential read microbenchmark (§5.1) with the service disabled and
+// enabled — in the simulator these are bit-identical by construction, the
+// analogue of the paper's "negligible degradation ... well within the
+// noise".
+//
+// The CPU rows are real wall-clock measurements of this implementation's
+// fast path via testing.Benchmark: nanoseconds per command through the
+// vSCSI issue+complete path with the collector detached-equivalent
+// (disabled) versus enabled, exactly the per-I/O cost Table 2's "CPU
+// Efficiency in UsedSec/IOps" captures.
+func Table2Overhead(opts Options) (*Result, error) {
+	r := newResult("table2", "Microbenchmark performance: online histogram service off vs on")
+
+	// --- Simulated Iometer rows ---
+	type row struct {
+		iops, mbps, latencyUs float64
+	}
+	sim := func(enabled bool) (row, error) {
+		eng := simclock.NewEngine()
+		host := hypervisor.NewHost(eng)
+		host.AddDatastore("sym", storage.SymmetrixConfig(opts.Seed))
+		vd, err := host.CreateVM("iometer").AddDisk(hypervisor.DiskSpec{
+			Name: "scsi0:0", Datastore: "sym", CapacitySectors: 6 << 21,
+		})
+		if err != nil {
+			return row{}, err
+		}
+		if enabled {
+			vd.Collector.Enable()
+		}
+		gen := workload.NewIometer(eng, vd.Disk, workload.FourKSeqRead(32))
+		gen.Start()
+		dur := opts.Duration / 2
+		if dur < 10*simclock.Second {
+			dur = 10 * simclock.Second
+		}
+		eng.RunUntil(dur)
+		st := gen.Stats()
+		return row{
+			iops:      st.Rate(dur),
+			mbps:      st.Throughput(dur) / (1 << 20),
+			latencyUs: float64(st.MeanLatency().Micros()),
+		}, nil
+	}
+	off, err := sim(false)
+	if err != nil {
+		return nil, err
+	}
+	on, err := sim(true)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Wall-clock fast-path rows ---
+	bench := func(enabled bool) testing.BenchmarkResult {
+		eng := simclock.NewEngine()
+		backend := vscsi.BackendFunc(func(q *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+			done(scsi.StatusGood, scsi.Sense{})
+		})
+		d := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{
+			VM: "bench", Name: "d", CapacitySectors: 1 << 30,
+		})
+		col := core.NewCollector("bench", "d")
+		d.AddObserver(col)
+		if enabled {
+			col.Enable()
+		}
+		return testing.Benchmark(func(b *testing.B) {
+			cmd := scsi.Read(0, 8)
+			for i := 0; i < b.N; i++ {
+				cmd.LBA = uint64(i) * 8 % (1 << 29)
+				if _, err := d.Issue(cmd, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	cpuOff := bench(false)
+	cpuOn := bench(true)
+	perCmdOff := float64(cpuOff.NsPerOp())
+	perCmdOn := float64(cpuOn.NsPerOp())
+	overheadNs := perCmdOn - perCmdOff
+	overheadPct := 0.0
+	if perCmdOff > 0 {
+		overheadPct = 100 * overheadNs / perCmdOff
+	}
+
+	// Collector memory: the histogram data structures are allocated only
+	// when enabled (§5.2); their size is fixed by the bin layouts.
+	memBytes := collectorMemoryBytes()
+
+	r.notef("simulated Iometer 4KB sequential read, 32 OIO, Symmetrix preset")
+	r.addChart("Table 2", fmt.Sprintf(
+		"%-38s %12s %12s\n%-38s %12.0f %12.0f\n%-38s %12.1f %12.1f\n%-38s %12.0f %12.0f\n%-38s %12.1f %12.1f\n%-38s %12.1f %12.1f\n",
+		"Online Histo Service", "Disabled", "Enabled",
+		"IOps", off.iops, on.iops,
+		"MBps", off.mbps, on.mbps,
+		"Latency in microseconds", off.latencyUs, on.latencyUs,
+		"CPU ns/command (wall clock)", perCmdOff, perCmdOn,
+		"CPU overhead %", 0.0, overheadPct))
+	r.notef("virtual-time results identical by construction: IOps %.0f vs %.0f, latency %.1f vs %.1f us",
+		off.iops, on.iops, off.latencyUs, on.latencyUs)
+	r.notef("wall-clock fast path: %.0f ns/cmd disabled vs %.0f ns/cmd enabled (+%.0f ns; %.1f%% of our ~%0.fns path)",
+		perCmdOff, perCmdOn, overheadNs, overheadPct, perCmdOff)
+	r.notef("context: the paper's testbed spends ~130 us of CPU per command end to end (Table 2: 106%% of one core at 8187 IOps); +%.0f ns against that budget is %.2f%% — 'well within the noise'",
+		overheadNs, 100*overheadNs/130_000)
+	r.notef("collector memory when enabled: %d bytes (%d histograms; zero when disabled — structures are created on demand)",
+		memBytes, 16)
+	r.CSVs["table2"] = fmt.Sprintf("metric,disabled,enabled\niops,%.0f,%.0f\nmbps,%.2f,%.2f\nlatency_us,%.1f,%.1f\ncpu_ns_per_cmd,%.1f,%.1f\n",
+		off.iops, on.iops, off.mbps, on.mbps, off.latencyUs, on.latencyUs, perCmdOff, perCmdOn)
+	return r, nil
+}
+
+// collectorMemoryBytes estimates the enabled collector's histogram memory
+// from the bin layouts: 15 class-split histograms plus the windowed one,
+// each bin an 8-byte counter, plus fixed per-histogram bookkeeping.
+func collectorMemoryBytes() int {
+	bins := 0
+	// 3 classes x {length, seek, oio, latency, interarrival} + windowed.
+	layout := []int{18, 18, 13, 11, 11}
+	for _, b := range layout {
+		bins += 3 * b
+	}
+	bins += 18                 // windowed seek
+	const perHistOverhead = 96 // name/unit/edge slice headers, summary fields
+	return bins*8 + 16*perHistOverhead
+}

@@ -1,0 +1,278 @@
+// Package scsi implements the subset of the SCSI block command set that the
+// virtual SCSI layer emulates: command descriptor block (CDB) encoding and
+// decoding for the 6/10/12/16-byte read/write forms plus the common
+// non-I/O commands, sense data, and status codes.
+//
+// The paper's technique observes guest I/O at the hypervisor's SCSI
+// emulation layer; this package is that layer's wire vocabulary. ("For the
+// purposes of this paper we deal with the SCSI protocol but the technique is
+// not exclusive to SCSI.")
+package scsi
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// SectorSize is the logical block size in bytes. The paper: "A logical block
+// is a unit of space (512 bytes)."
+const SectorSize = 512
+
+// OpCode is a SCSI operation code (first CDB byte).
+type OpCode byte
+
+// Operation codes used by the emulation.
+const (
+	OpTestUnitReady      OpCode = 0x00
+	OpRequestSense       OpCode = 0x03
+	OpRead6              OpCode = 0x08
+	OpWrite6             OpCode = 0x0A
+	OpInquiry            OpCode = 0x12
+	OpModeSense6         OpCode = 0x1A
+	OpReadCapacity10     OpCode = 0x25
+	OpRead10             OpCode = 0x28
+	OpWrite10            OpCode = 0x2A
+	OpSynchronizeCache10 OpCode = 0x35
+	OpModeSense10        OpCode = 0x5A
+	OpRead16             OpCode = 0x88
+	OpWrite16            OpCode = 0x8A
+	OpReadCapacity16     OpCode = 0x9E
+	OpReportLuns         OpCode = 0xA0
+	OpRead12             OpCode = 0xA8
+	OpWrite12            OpCode = 0xAA
+)
+
+var opNames = map[OpCode]string{
+	OpTestUnitReady:      "TEST UNIT READY",
+	OpRequestSense:       "REQUEST SENSE",
+	OpRead6:              "READ(6)",
+	OpWrite6:             "WRITE(6)",
+	OpInquiry:            "INQUIRY",
+	OpModeSense6:         "MODE SENSE(6)",
+	OpReadCapacity10:     "READ CAPACITY(10)",
+	OpRead10:             "READ(10)",
+	OpWrite10:            "WRITE(10)",
+	OpSynchronizeCache10: "SYNCHRONIZE CACHE(10)",
+	OpModeSense10:        "MODE SENSE(10)",
+	OpRead16:             "READ(16)",
+	OpWrite16:            "WRITE(16)",
+	OpReadCapacity16:     "READ CAPACITY(16)",
+	OpReportLuns:         "REPORT LUNS",
+	OpRead12:             "READ(12)",
+	OpWrite12:            "WRITE(12)",
+}
+
+// String returns the T10 name of the opcode, or a hex form if unknown.
+func (op OpCode) String() string {
+	if n, ok := opNames[op]; ok {
+		return n
+	}
+	return fmt.Sprintf("OPCODE(0x%02X)", byte(op))
+}
+
+// IsRead reports whether op is a data-in block read.
+func (op OpCode) IsRead() bool {
+	return op == OpRead6 || op == OpRead10 || op == OpRead12 || op == OpRead16
+}
+
+// IsWrite reports whether op is a data-out block write.
+func (op OpCode) IsWrite() bool {
+	return op == OpWrite6 || op == OpWrite10 || op == OpWrite12 || op == OpWrite16
+}
+
+// IsBlockIO reports whether op transfers logical blocks (a read or write).
+// Only these commands feed the workload histograms.
+func (op OpCode) IsBlockIO() bool { return op.IsRead() || op.IsWrite() }
+
+// Status is a SCSI status byte returned at command completion.
+type Status byte
+
+// Status codes.
+const (
+	StatusGood           Status = 0x00
+	StatusCheckCondition Status = 0x02
+	StatusBusy           Status = 0x08
+	StatusTaskSetFull    Status = 0x28
+)
+
+// String names the status code.
+func (s Status) String() string {
+	switch s {
+	case StatusGood:
+		return "GOOD"
+	case StatusCheckCondition:
+		return "CHECK CONDITION"
+	case StatusBusy:
+		return "BUSY"
+	case StatusTaskSetFull:
+		return "TASK SET FULL"
+	default:
+		return fmt.Sprintf("STATUS(0x%02X)", byte(s))
+	}
+}
+
+// Command is a decoded CDB: operation, starting LBA and transfer length in
+// logical blocks. Non-I/O commands have LBA and Blocks of zero (except
+// READ CAPACITY(16), which ignores them too).
+type Command struct {
+	Op     OpCode
+	LBA    uint64
+	Blocks uint32
+}
+
+// Bytes returns the transfer length in bytes.
+func (c Command) Bytes() int64 { return int64(c.Blocks) * SectorSize }
+
+// LastLBA returns the last logical block touched by the command. For
+// zero-length commands it returns the starting LBA.
+func (c Command) LastLBA() uint64 {
+	if c.Blocks == 0 {
+		return c.LBA
+	}
+	return c.LBA + uint64(c.Blocks) - 1
+}
+
+// String renders the command for traces and logs.
+func (c Command) String() string {
+	if c.Op.IsBlockIO() {
+		return fmt.Sprintf("%s lba=%d blocks=%d", c.Op, c.LBA, c.Blocks)
+	}
+	return c.Op.String()
+}
+
+// Errors returned by the codec.
+var (
+	ErrShortCDB      = errors.New("scsi: CDB shorter than its opcode requires")
+	ErrUnsupportedOp = errors.New("scsi: unsupported opcode")
+	ErrLBAOutOfRange = errors.New("scsi: LBA does not fit the CDB form")
+)
+
+func cdbLen(op OpCode) int {
+	switch b := byte(op); {
+	case b < 0x20:
+		return 6
+	case b < 0x60:
+		return 10
+	case b >= 0x80 && b < 0xA0:
+		return 16
+	case b >= 0xA0 && b < 0xC0:
+		return 12
+	default:
+		return 10
+	}
+}
+
+// Decode parses a raw CDB into a Command. It accepts every opcode this
+// package names; unknown opcodes return ErrUnsupportedOp so the emulation
+// can fail them with CHECK CONDITION / INVALID COMMAND.
+func Decode(cdb []byte) (Command, error) {
+	if len(cdb) == 0 {
+		return Command{}, ErrShortCDB
+	}
+	op := OpCode(cdb[0])
+	if _, ok := opNames[op]; !ok {
+		return Command{}, fmt.Errorf("%w: 0x%02X", ErrUnsupportedOp, cdb[0])
+	}
+	if len(cdb) < cdbLen(op) {
+		return Command{}, fmt.Errorf("%w: %s needs %d bytes, got %d",
+			ErrShortCDB, op, cdbLen(op), len(cdb))
+	}
+	c := Command{Op: op}
+	switch op {
+	case OpRead6, OpWrite6:
+		c.LBA = uint64(cdb[1]&0x1F)<<16 | uint64(cdb[2])<<8 | uint64(cdb[3])
+		c.Blocks = uint32(cdb[4])
+		if c.Blocks == 0 {
+			// SBC: a transfer length of 0 in the 6-byte form means 256.
+			c.Blocks = 256
+		}
+	case OpRead10, OpWrite10, OpSynchronizeCache10:
+		c.LBA = uint64(binary.BigEndian.Uint32(cdb[2:6]))
+		c.Blocks = uint32(binary.BigEndian.Uint16(cdb[7:9]))
+	case OpRead12, OpWrite12:
+		c.LBA = uint64(binary.BigEndian.Uint32(cdb[2:6]))
+		c.Blocks = binary.BigEndian.Uint32(cdb[6:10])
+	case OpRead16, OpWrite16:
+		c.LBA = binary.BigEndian.Uint64(cdb[2:10])
+		c.Blocks = binary.BigEndian.Uint32(cdb[10:14])
+	default:
+		// Non-I/O command: no LBA/length of interest.
+	}
+	return c, nil
+}
+
+// Encode builds the smallest standard CDB form that can express the command,
+// the way guest drivers do. I/O commands choose among the 6/10/16-byte
+// forms; non-I/O commands use their fixed form.
+func Encode(c Command) ([]byte, error) {
+	switch {
+	case c.Op.IsBlockIO():
+		return encodeIO(c)
+	case c.Op == OpSynchronizeCache10:
+		cdb := make([]byte, 10)
+		cdb[0] = byte(c.Op)
+		if c.LBA > 0xFFFFFFFF {
+			return nil, ErrLBAOutOfRange
+		}
+		binary.BigEndian.PutUint32(cdb[2:6], uint32(c.LBA))
+		if c.Blocks > 0xFFFF {
+			return nil, ErrLBAOutOfRange
+		}
+		binary.BigEndian.PutUint16(cdb[7:9], uint16(c.Blocks))
+		return cdb, nil
+	default:
+		if _, ok := opNames[c.Op]; !ok {
+			return nil, fmt.Errorf("%w: 0x%02X", ErrUnsupportedOp, byte(c.Op))
+		}
+		cdb := make([]byte, cdbLen(c.Op))
+		cdb[0] = byte(c.Op)
+		return cdb, nil
+	}
+}
+
+func encodeIO(c Command) ([]byte, error) {
+	read := c.Op.IsRead()
+	switch {
+	case c.LBA <= 0x1FFFFF && c.Blocks <= 256 && c.Blocks > 0:
+		cdb := make([]byte, 6)
+		if read {
+			cdb[0] = byte(OpRead6)
+		} else {
+			cdb[0] = byte(OpWrite6)
+		}
+		cdb[1] = byte(c.LBA >> 16 & 0x1F)
+		cdb[2] = byte(c.LBA >> 8)
+		cdb[3] = byte(c.LBA)
+		cdb[4] = byte(c.Blocks) // 256 wraps to 0, the SBC encoding
+		return cdb, nil
+	case c.LBA <= 0xFFFFFFFF && c.Blocks <= 0xFFFF:
+		cdb := make([]byte, 10)
+		if read {
+			cdb[0] = byte(OpRead10)
+		} else {
+			cdb[0] = byte(OpWrite10)
+		}
+		binary.BigEndian.PutUint32(cdb[2:6], uint32(c.LBA))
+		binary.BigEndian.PutUint16(cdb[7:9], uint16(c.Blocks))
+		return cdb, nil
+	default:
+		cdb := make([]byte, 16)
+		if read {
+			cdb[0] = byte(OpRead16)
+		} else {
+			cdb[0] = byte(OpWrite16)
+		}
+		binary.BigEndian.PutUint64(cdb[2:10], c.LBA)
+		binary.BigEndian.PutUint32(cdb[10:14], c.Blocks)
+		return cdb, nil
+	}
+}
+
+// Read returns a read command for the given extent.
+func Read(lba uint64, blocks uint32) Command { return Command{Op: OpRead10, LBA: lba, Blocks: blocks} }
+
+// Write returns a write command for the given extent.
+func Write(lba uint64, blocks uint32) Command {
+	return Command{Op: OpWrite10, LBA: lba, Blocks: blocks}
+}

@@ -1,0 +1,261 @@
+package scsi
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecodeRead10(t *testing.T) {
+	cdb := []byte{0x28, 0, 0x00, 0x00, 0x10, 0x00, 0, 0x00, 0x08, 0}
+	c, err := Decode(cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Op != OpRead10 || c.LBA != 0x1000 || c.Blocks != 8 {
+		t.Errorf("got %+v", c)
+	}
+	if !c.Op.IsRead() || c.Op.IsWrite() || !c.Op.IsBlockIO() {
+		t.Error("classification wrong for READ(10)")
+	}
+	if c.Bytes() != 8*512 {
+		t.Errorf("Bytes = %d", c.Bytes())
+	}
+	if c.LastLBA() != 0x1007 {
+		t.Errorf("LastLBA = %d", c.LastLBA())
+	}
+}
+
+func TestDecodeRead6ZeroMeans256(t *testing.T) {
+	cdb := []byte{0x08, 0x01, 0x02, 0x03, 0x00, 0}
+	c, err := Decode(cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LBA != 0x010203 || c.Blocks != 256 {
+		t.Errorf("got %+v", c)
+	}
+}
+
+func TestDecodeRead6MasksLBAHighBits(t *testing.T) {
+	// Top 3 bits of byte 1 are reserved/LUN in the 6-byte form.
+	cdb := []byte{0x08, 0xFF, 0xFF, 0xFF, 0x01, 0}
+	c, err := Decode(cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.LBA != 0x1FFFFF {
+		t.Errorf("LBA = %#x, want 0x1FFFFF", c.LBA)
+	}
+}
+
+func TestDecodeWrite16(t *testing.T) {
+	cdb := make([]byte, 16)
+	cdb[0] = byte(OpWrite16)
+	cdb[2], cdb[9] = 0x01, 0xFF // LBA = 0x01000000_000000FF
+	cdb[13] = 0x40
+	c, err := Decode(cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Op != OpWrite16 || c.LBA != 0x01000000000000FF || c.Blocks != 0x40 {
+		t.Errorf("got %+v", c)
+	}
+	if !c.Op.IsWrite() {
+		t.Error("WRITE(16) not classified as write")
+	}
+}
+
+func TestDecodeNonIO(t *testing.T) {
+	for _, op := range []OpCode{OpTestUnitReady, OpInquiry, OpReportLuns, OpReadCapacity10} {
+		cdb, err := Encode(Command{Op: op})
+		if err != nil {
+			t.Fatalf("Encode(%v): %v", op, err)
+		}
+		c, err := Decode(cdb)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", op, err)
+		}
+		if c.Op != op || c.Op.IsBlockIO() {
+			t.Errorf("non-I/O op decoded as %+v", c)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrShortCDB) {
+		t.Errorf("empty CDB: %v", err)
+	}
+	if _, err := Decode([]byte{0x28, 0, 0}); !errors.Is(err, ErrShortCDB) {
+		t.Errorf("truncated READ(10): %v", err)
+	}
+	if _, err := Decode([]byte{0xEE, 0, 0, 0, 0, 0}); !errors.Is(err, ErrUnsupportedOp) {
+		t.Errorf("unknown opcode: %v", err)
+	}
+}
+
+func TestEncodePicksSmallestForm(t *testing.T) {
+	cases := []struct {
+		lba    uint64
+		blocks uint32
+		want   int
+	}{
+		{0, 8, 6},
+		{0x1FFFFF, 256, 6},
+		{0x200000, 8, 10},
+		{0, 257, 10},
+		{0xFFFFFFFF, 0xFFFF, 10},
+		{0x100000000, 8, 16},
+		{0, 0x10000, 16},
+		{0, 0, 10}, // zero-length can't use the 6-byte form (0 means 256)
+	}
+	for _, c := range cases {
+		cdb, err := Encode(Read(c.lba, c.blocks))
+		if err != nil {
+			t.Fatalf("Encode(lba=%d,blocks=%d): %v", c.lba, c.blocks, err)
+		}
+		if len(cdb) != c.want {
+			t.Errorf("Encode(lba=%#x blocks=%d) -> %d-byte CDB, want %d",
+				c.lba, c.blocks, len(cdb), c.want)
+		}
+	}
+}
+
+// Property: Decode(Encode(cmd)) is the identity for block I/O commands with
+// a nonzero transfer length (the opcode may legitimately change form).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(lba uint64, blocks uint32, read bool) bool {
+		lba %= 1 << 40
+		blocks = blocks%0x20000 + 1
+		var cmd Command
+		if read {
+			cmd = Read(lba, blocks)
+		} else {
+			cmd = Write(lba, blocks)
+		}
+		cdb, err := Encode(cmd)
+		if err != nil {
+			return false
+		}
+		got, err := Decode(cdb)
+		if err != nil {
+			return false
+		}
+		return got.LBA == lba && got.Blocks == blocks &&
+			got.Op.IsRead() == read && got.Op.IsWrite() == !read
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSynchronizeCacheRoundTrip(t *testing.T) {
+	cdb, err := Encode(Command{Op: OpSynchronizeCache10, LBA: 0x1234, Blocks: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Decode(cdb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Op != OpSynchronizeCache10 || c.LBA != 0x1234 || c.Blocks != 16 {
+		t.Errorf("got %+v", c)
+	}
+	if c.Op.IsBlockIO() {
+		t.Error("SYNCHRONIZE CACHE must not count as block I/O")
+	}
+}
+
+func TestEncodeUnsupportedOp(t *testing.T) {
+	if _, err := Encode(Command{Op: OpCode(0xEE)}); !errors.Is(err, ErrUnsupportedOp) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestOpCodeStrings(t *testing.T) {
+	if OpRead10.String() != "READ(10)" {
+		t.Errorf("got %q", OpRead10)
+	}
+	if OpCode(0xEE).String() != "OPCODE(0xEE)" {
+		t.Errorf("got %q", OpCode(0xEE))
+	}
+	if StatusGood.String() != "GOOD" || StatusCheckCondition.String() != "CHECK CONDITION" {
+		t.Error("status names wrong")
+	}
+	if Status(0x77).String() != "STATUS(0x77)" {
+		t.Errorf("got %q", Status(0x77))
+	}
+}
+
+func TestCommandString(t *testing.T) {
+	if got := Read(100, 8).String(); got != "READ(10) lba=100 blocks=8" {
+		t.Errorf("got %q", got)
+	}
+	if got := (Command{Op: OpInquiry}).String(); got != "INQUIRY" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestSenseRoundTrip(t *testing.T) {
+	for _, s := range []Sense{SenseInvalidOpcode, SenseLBAOutOfRange, SenseUnrecoveredRead, SensePowerOnReset} {
+		got, err := DecodeFixed(s.EncodeFixed())
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		if got != s {
+			t.Errorf("round trip %v -> %v", s, got)
+		}
+	}
+}
+
+func TestSenseDecodeErrors(t *testing.T) {
+	if _, err := DecodeFixed([]byte{0x70}); err == nil {
+		t.Error("short sense should fail")
+	}
+	bad := SenseInvalidOpcode.EncodeFixed()
+	bad[0] = 0x33
+	if _, err := DecodeFixed(bad); err == nil {
+		t.Error("bad response code should fail")
+	}
+}
+
+func TestSenseStrings(t *testing.T) {
+	if !(Sense{}).IsZero() {
+		t.Error("zero sense should be zero")
+	}
+	if SenseInvalidOpcode.IsZero() {
+		t.Error("nonzero sense reported zero")
+	}
+	if SenseIllegalRequest.String() != "ILLEGAL REQUEST" {
+		t.Errorf("got %q", SenseIllegalRequest)
+	}
+	if SenseKey(0xF).String() != "SENSE(0xF)" {
+		t.Errorf("got %q", SenseKey(0xF))
+	}
+}
+
+func TestLastLBAZeroBlocks(t *testing.T) {
+	c := Command{Op: OpRead10, LBA: 50, Blocks: 0}
+	if c.LastLBA() != 50 {
+		t.Errorf("LastLBA = %d, want 50", c.LastLBA())
+	}
+}
+
+func BenchmarkDecodeRead10(b *testing.B) {
+	cdb := []byte{0x28, 0, 0x00, 0x00, 0x10, 0x00, 0, 0x00, 0x08, 0}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(cdb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeRead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(Read(uint64(i), 8)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

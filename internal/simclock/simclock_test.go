@@ -1,0 +1,266 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(30, func(Time) { got = append(got, 3) })
+	e.At(10, func(Time) { got = append(got, 1) })
+	e.At(20, func(Time) { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30 {
+		t.Errorf("Now() = %v, want 30", e.Now())
+	}
+}
+
+func TestEngineFIFOAtSameInstant(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5, func(Time) { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events reordered: %v", got)
+		}
+	}
+}
+
+func TestEngineAfterRelativeToNow(t *testing.T) {
+	e := NewEngine()
+	var fired Time
+	e.At(100, func(now Time) {
+		e.After(50, func(now Time) { fired = now })
+	})
+	e.Run()
+	if fired != 150 {
+		t.Errorf("After fired at %v, want 150", fired)
+	}
+}
+
+func TestEngineSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func(Time) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling before now")
+		}
+	}()
+	e.At(50, func(Time) {})
+}
+
+func TestEngineNegativeAfterClamps(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(10, func(Time) {
+		e.After(-5, func(now Time) {
+			fired = true
+			if now != 10 {
+				t.Errorf("clamped event at %v, want 10", now)
+			}
+		})
+	})
+	e.Run()
+	if !fired {
+		t.Fatal("clamped event never fired")
+	}
+}
+
+func TestCancelPreventsDispatch(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	h := e.At(10, func(Time) { fired = true })
+	h.Cancel()
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Dispatched() != 0 {
+		t.Errorf("Dispatched = %d, want 0", e.Dispatched())
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	h := e.At(1, func(Time) {})
+	e.Run()
+	h.Cancel() // must not panic
+}
+
+func TestRunUntilStopsAtDeadline(t *testing.T) {
+	e := NewEngine()
+	var fired []Time
+	for _, at := range []Time{10, 20, 30, 40} {
+		at := at
+		e.At(at, func(now Time) { fired = append(fired, now) })
+	}
+	e.RunUntil(25)
+	if len(fired) != 2 {
+		t.Fatalf("fired %v, want events at 10 and 20 only", fired)
+	}
+	if e.Now() != 25 {
+		t.Errorf("Now() = %v, want deadline 25", e.Now())
+	}
+	e.Run()
+	if len(fired) != 4 {
+		t.Errorf("remaining events lost: fired %v", fired)
+	}
+}
+
+func TestRunUntilAdvancesClockWithNoEvents(t *testing.T) {
+	e := NewEngine()
+	e.RunUntil(1000)
+	if e.Now() != 1000 {
+		t.Errorf("Now() = %v, want 1000", e.Now())
+	}
+}
+
+func TestTickerFiresAtInterval(t *testing.T) {
+	e := NewEngine()
+	var ticks []Time
+	tk := NewTicker(e, 10, func(now Time) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			// Stop from inside the callback.
+			return
+		}
+	})
+	e.RunUntil(35)
+	tk.Stop()
+	e.Run()
+	want := []Time{10, 20, 30}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestTickerStopInsideCallback(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(e, 10, func(Time) {
+		n++
+		if n == 2 {
+			tk.Stop()
+		}
+	})
+	e.Run()
+	if n != 2 {
+		t.Errorf("ticker fired %d times after Stop, want 2", n)
+	}
+}
+
+func TestTickerZeroIntervalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero interval")
+		}
+	}()
+	NewTicker(NewEngine(), 0, func(Time) {})
+}
+
+func TestTimeMicros(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want int64
+	}{
+		{0, 0},
+		{999, 0},
+		{1000, 1},
+		{1_500_000, 1500},
+		{Second, 1_000_000},
+	}
+	for _, c := range cases {
+		if got := c.t.Micros(); got != c.want {
+			t.Errorf("(%d).Micros() = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDurationConversion(t *testing.T) {
+	if Duration(3*time.Millisecond) != 3*Millisecond {
+		t.Error("Duration(3ms) mismatch")
+	}
+	if got := (2500 * Microsecond).Seconds(); got != 0.0025 {
+		t.Errorf("Seconds() = %v, want 0.0025", got)
+	}
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != c.Int63() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing time order and the final clock equals the max offset.
+func TestEngineDispatchOrderProperty(t *testing.T) {
+	f := func(offsets []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		var max Time
+		for _, off := range offsets {
+			at := Time(off)
+			if at > max {
+				max = at
+			}
+			e.At(at, func(now Time) { fired = append(fired, now) })
+		}
+		e.Run()
+		if len(fired) != len(offsets) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(offsets) == 0 || e.Now() == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkEngineScheduleDispatch(b *testing.B) {
+	e := NewEngine()
+	fn := func(Time) {}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(1, fn)
+		e.Step()
+	}
+}

@@ -1,0 +1,365 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vscsistats/internal/simclock"
+)
+
+// RAIDLevel selects the array's striping scheme.
+type RAIDLevel int
+
+// Supported levels. RAID5 reserves one rotating parity chunk per stripe row
+// and charges writes a parity update on a second spindle.
+const (
+	RAID0 RAIDLevel = iota
+	RAID5
+)
+
+// ArrayConfig describes a storage array.
+type ArrayConfig struct {
+	Name  string
+	Level RAIDLevel
+	// Disks is the number of spindles; RAID5 needs at least 3.
+	Disks int
+	// DiskParams configures each spindle.
+	DiskParams DiskParams
+	// StripeSectors is the stripe unit (chunk) size in sectors.
+	StripeSectors uint64
+	// ReadCacheBytes sizes the LRU read cache; 0 disables it (§5.3's
+	// "turn off the CX3 read cache forcing all I/Os to hit the disk").
+	ReadCacheBytes int64
+	// ReadAheadLines is the number of 64 KB lines prefetched when a miss
+	// extends a resident sequential run.
+	ReadAheadLines int
+	// WriteBackBytes sizes write-back absorption; 0 means write-through.
+	WriteBackBytes int64
+	// TransportDelay is the per-command fabric plus controller time.
+	TransportDelay simclock.Time
+	// LinkBytesPerSec is the host-array link bandwidth (4 Gb FC by
+	// default); every command pays its transfer time on the wire, which is
+	// why a 1 MB I/O has higher latency than a 64 KB one even on a cache
+	// hit (Figure 5(a)).
+	LinkBytesPerSec int64
+	// CacheHitTime is the extra service time for a read satisfied from
+	// cache; CacheWriteTime likewise for an absorbed write.
+	CacheHitTime   simclock.Time
+	CacheWriteTime simclock.Time
+	// ReadErrorRate / WriteErrorRate inject media failures with the given
+	// per-command probability (failure-injection testing; zero in the
+	// paper's experiments).
+	ReadErrorRate  float64
+	WriteErrorRate float64
+	// Seed drives the array's rotational-latency and fault randomness.
+	Seed int64
+}
+
+// Array is a striped disk array with a shared cache, implementing the
+// physical half of the paper's testbed. All methods must run on the
+// simulation engine's event loop.
+type Array struct {
+	cfg   ArrayConfig
+	eng   *simclock.Engine
+	disks []*Disk
+	cache *Cache
+	rng   *rand.Rand
+
+	wbLimitLines int
+
+	failed           []bool
+	rebuild          *rebuildState
+	reads, writes    uint64
+	readErrs, wrErrs uint64
+	degradedOps      uint64
+}
+
+// NewArray builds an array; it panics on nonsensical configuration since
+// arrays are constructed from code-reviewed presets.
+func NewArray(eng *simclock.Engine, cfg ArrayConfig) *Array {
+	if cfg.Disks <= 0 {
+		panic("storage: array needs at least one disk")
+	}
+	if cfg.Level == RAID5 && cfg.Disks < 3 {
+		panic("storage: RAID5 needs at least three disks")
+	}
+	if cfg.StripeSectors == 0 {
+		panic("storage: stripe unit must be nonzero")
+	}
+	if cfg.TransportDelay <= 0 {
+		cfg.TransportDelay = 100 * simclock.Microsecond
+	}
+	if cfg.CacheHitTime <= 0 {
+		cfg.CacheHitTime = 100 * simclock.Microsecond
+	}
+	if cfg.CacheWriteTime <= 0 {
+		cfg.CacheWriteTime = 80 * simclock.Microsecond
+	}
+	if cfg.LinkBytesPerSec <= 0 {
+		cfg.LinkBytesPerSec = 400 << 20 // ~4 Gb/s Fibre Channel
+	}
+	a := &Array{
+		cfg:          cfg,
+		eng:          eng,
+		cache:        NewCache(cfg.ReadCacheBytes),
+		rng:          simclock.NewRand(cfg.Seed),
+		wbLimitLines: int(cfg.WriteBackBytes / (cacheLineSectors * 512)),
+	}
+	for i := 0; i < cfg.Disks; i++ {
+		a.disks = append(a.disks, NewDisk(eng, cfg.DiskParams, simclock.NewRand(cfg.Seed+int64(i)+1)))
+	}
+	a.failed = make([]bool, cfg.Disks)
+	return a
+}
+
+// Name returns the configured array name.
+func (a *Array) Name() string { return a.cfg.Name }
+
+// CapacitySectors is the usable (data) capacity across all spindles.
+func (a *Array) CapacitySectors() uint64 {
+	dataDisks := uint64(a.cfg.Disks)
+	if a.cfg.Level == RAID5 {
+		dataDisks--
+	}
+	return dataDisks * a.cfg.DiskParams.CapacitySectors
+}
+
+// Cache exposes the read cache for accounting.
+func (a *Array) Cache() *Cache { return a.cache }
+
+// Reads and Writes report completed I/O counts; ReadErrors/WriteErrors the
+// injected failures.
+func (a *Array) Reads() uint64       { return a.reads }
+func (a *Array) Writes() uint64      { return a.writes }
+func (a *Array) ReadErrors() uint64  { return a.readErrs }
+func (a *Array) WriteErrors() uint64 { return a.wrErrs }
+
+// DiskUtilization returns each spindle's busy fraction of elapsed time.
+func (a *Array) DiskUtilization() []float64 {
+	out := make([]float64, len(a.disks))
+	now := a.eng.Now()
+	if now == 0 {
+		return out
+	}
+	for i, d := range a.disks {
+		out[i] = float64(d.BusyTime()) / float64(now)
+	}
+	return out
+}
+
+// chunk is a piece of an array extent mapped onto one spindle.
+type chunk struct {
+	disk    int
+	diskLBA uint64
+	sectors uint32
+	parity  int // RAID5 parity spindle for this chunk's row, else -1
+}
+
+// mapExtent splits [lba, lba+sectors) into per-spindle chunks.
+func (a *Array) mapExtent(lba uint64, sectors uint32) []chunk {
+	var chunks []chunk
+	end := lba + uint64(sectors)
+	for cur := lba; cur < end; {
+		stripeIdx := cur / a.cfg.StripeSectors
+		off := cur % a.cfg.StripeSectors
+		n := a.cfg.StripeSectors - off
+		if cur+n > end {
+			n = end - cur
+		}
+		c := chunk{sectors: uint32(n), parity: -1}
+		switch a.cfg.Level {
+		case RAID0:
+			c.disk = int(stripeIdx % uint64(a.cfg.Disks))
+			c.diskLBA = (stripeIdx/uint64(a.cfg.Disks))*a.cfg.StripeSectors + off
+		case RAID5:
+			dataDisks := uint64(a.cfg.Disks - 1)
+			row := stripeIdx / dataDisks
+			col := int(stripeIdx % dataDisks)
+			parity := int(row % uint64(a.cfg.Disks))
+			disk := col
+			if disk >= parity {
+				disk++
+			}
+			c.disk = disk
+			c.diskLBA = row*a.cfg.StripeSectors + off
+			c.parity = parity
+		}
+		chunks = append(chunks, c)
+		cur += n
+	}
+	return chunks
+}
+
+// Read services an array read of sectors at lba, invoking done(ok) when the
+// data is available. It must be called on the engine's event loop.
+func (a *Array) Read(lba uint64, sectors uint32, done func(ok bool)) {
+	a.validate(lba, sectors)
+	a.eng.After(a.cfg.TransportDelay+a.linkTime(sectors), func(simclock.Time) {
+		if a.cfg.ReadErrorRate > 0 && a.rng.Float64() < a.cfg.ReadErrorRate {
+			a.readErrs++
+			done(false)
+			return
+		}
+		if a.cache.Lookup(lba, sectors) {
+			// Keep the read-ahead window rolling on hits too, or a
+			// sequential stream stalls at the end of each prefetched run.
+			if lba >= cacheLineSectors && a.cache.Contains(lba-1) {
+				a.cache.InsertAhead(lba, sectors, a.cfg.ReadAheadLines)
+			}
+			a.eng.After(a.cfg.CacheHitTime, func(simclock.Time) {
+				a.reads++
+				done(true)
+			})
+			return
+		}
+		// Sequential detection before the fill perturbs residency: does
+		// the line preceding this extent sit in cache?
+		sequential := lba >= cacheLineSectors && a.cache.Contains(lba-1)
+		a.fanOut(lba, sectors, false, func(ok bool) {
+			if !ok {
+				a.readErrs++
+				done(false)
+				return
+			}
+			a.cache.Insert(lba, sectors)
+			if sequential {
+				a.cache.InsertAhead(lba, sectors, a.cfg.ReadAheadLines)
+			}
+			a.reads++
+			done(true)
+		})
+	})
+}
+
+// Write services an array write, invoking done(ok) when the guest may
+// consider it durable (cache absorption counts, as on a battery-backed
+// array).
+func (a *Array) Write(lba uint64, sectors uint32, done func(ok bool)) {
+	a.validate(lba, sectors)
+	a.eng.After(a.cfg.TransportDelay+a.linkTime(sectors), func(simclock.Time) {
+		if a.cfg.WriteErrorRate > 0 && a.rng.Float64() < a.cfg.WriteErrorRate {
+			a.wrErrs++
+			done(false)
+			return
+		}
+		a.cache.Insert(lba, sectors) // written data is readable from cache
+		if a.wbLimitLines > 0 && a.cache.Dirty() < a.wbLimitLines {
+			// Absorbed by the write-back cache; destage asynchronously,
+			// but only for newly dirtied lines — overwrites of a dirty
+			// line fold into the pending destage.
+			if newLines := a.cache.MarkDirty(lba, sectors); newLines > 0 {
+				a.fanOut(lba, sectors, true, func(bool) { a.cache.Destaged(lba, sectors) })
+			}
+			a.eng.After(a.cfg.CacheWriteTime, func(simclock.Time) {
+				a.writes++
+				done(true)
+			})
+			return
+		}
+		// Write-through: wait for the spindles (and parity).
+		a.fanOut(lba, sectors, true, func(ok bool) {
+			if !ok {
+				a.wrErrs++
+				done(false)
+				return
+			}
+			a.writes++
+			done(true)
+		})
+	})
+}
+
+// linkTime is the wire-transfer time for an extent.
+func (a *Array) linkTime(sectors uint32) simclock.Time {
+	return simclock.Time(int64(sectors) * 512 * int64(simclock.Second) / a.cfg.LinkBytesPerSec)
+}
+
+// Flush models SYNCHRONIZE CACHE: it completes once the currently dirty
+// write-back lines have destaged (approximated by a per-line charge).
+func (a *Array) Flush(done func()) {
+	d := simclock.Time(a.cache.Dirty()) * 20 * simclock.Microsecond
+	a.eng.After(a.cfg.TransportDelay+d, func(simclock.Time) { done() })
+}
+
+// fanOut issues the extent's chunks to their spindles and calls done(ok)
+// when every chunk (and for RAID5 writes, every parity update) completes.
+// Chunks on a failed spindle follow the degraded paths: RAID5 reads
+// reconstruct from every surviving peer, RAID5 writes fall back to the
+// parity (or data) update alone, and RAID0 ops fail outright.
+func (a *Array) fanOut(lba uint64, sectors uint32, write bool, done func(ok bool)) {
+	chunks := a.mapExtent(lba, sectors)
+	remaining := 1 // sentinel released after submission
+	okAll := true
+	complete := func(ok bool) {
+		if !ok {
+			okAll = false
+		}
+		remaining--
+		if remaining == 0 {
+			done(okAll)
+		}
+	}
+	submit := func(disk int, diskLBA uint64, sectors uint32, w bool) {
+		remaining++
+		a.disks[disk].Submit(diskLBA, sectors, w, func() { complete(true) })
+	}
+	for _, c := range chunks {
+		diskDown := a.diskUnavailable(c.disk, c.diskLBA)
+		parityDown := c.parity >= 0 && a.diskUnavailable(c.parity, c.diskLBA)
+		switch {
+		case !diskDown:
+			submit(c.disk, c.diskLBA, c.sectors, write)
+			if write && c.parity >= 0 && !parityDown {
+				submit(c.parity, c.diskLBA, c.sectors, true)
+			}
+		case c.parity < 0:
+			// RAID0: the data is simply gone.
+			remaining++
+			a.eng.After(a.cfg.TransportDelay, func(simclock.Time) { complete(false) })
+		case write:
+			// Degraded RAID5 write: the data lives only in parity now.
+			a.degradedOps++
+			if !parityDown {
+				submit(c.parity, c.diskLBA, c.sectors, true)
+			} else {
+				remaining++
+				a.eng.After(a.cfg.TransportDelay, func(simclock.Time) { complete(false) })
+			}
+		default:
+			// Degraded RAID5 read: reconstruct from every surviving peer.
+			a.degradedOps++
+			survivors := 0
+			for peer := range a.disks {
+				if peer != c.disk && !a.failed[peer] {
+					survivors++
+					submit(peer, c.diskLBA, c.sectors, false)
+				}
+			}
+			if survivors < a.cfg.Disks-1 {
+				// Two failures: unrecoverable.
+				remaining++
+				a.eng.After(a.cfg.TransportDelay, func(simclock.Time) { complete(false) })
+			}
+		}
+	}
+	complete(true) // release the sentinel
+}
+
+// diskUnavailable reports whether the spindle cannot serve the row: failed,
+// or still awaiting rebuild above the watermark.
+func (a *Array) diskUnavailable(disk int, diskLBA uint64) bool {
+	if a.failed[disk] {
+		return true
+	}
+	if a.rebuild != nil && a.rebuild.disk == disk && diskLBA >= a.rebuild.watermark {
+		return true
+	}
+	return false
+}
+
+func (a *Array) validate(lba uint64, sectors uint32) {
+	if sectors == 0 || lba+uint64(sectors) > a.CapacitySectors() {
+		panic(fmt.Sprintf("storage: extent [%d,+%d) outside array %q (capacity %d); the LUN layer must bounds-check",
+			lba, sectors, a.cfg.Name, a.CapacitySectors()))
+	}
+}

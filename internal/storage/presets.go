@@ -1,0 +1,68 @@
+package storage
+
+import "vscsistats/internal/simclock"
+
+// Presets modeled on the paper's Table 1 and §5.3 testbeds. Absolute
+// figures are representative of the device class, not calibrated to the
+// originals; the experiments depend on the *relationships* between presets
+// (huge cache vs small cache vs no cache).
+
+// SymmetrixConfig models the reference array: "EMC Symmetrix 500GB RAID-5"
+// behind a 4 Gb SAN, with the "very large cache" that §5.3 credits for
+// hiding multi-VM interference.
+func SymmetrixConfig(seed int64) ArrayConfig {
+	return ArrayConfig{
+		Name:           "EMC Symmetrix (RAID-5)",
+		Level:          RAID5,
+		Disks:          9,                            // 8 data + rotating parity
+		DiskParams:     DefaultDiskParams(150 << 21), // ~150 GB per spindle in sectors
+		StripeSectors:  128,                          // 64 KB chunks
+		ReadCacheBytes: 16 << 30,
+		ReadAheadLines: 8,
+		WriteBackBytes: 8 << 30,
+		TransportDelay: 120 * simclock.Microsecond,
+		Seed:           seed,
+	}
+}
+
+// CX3Config models the "lower cost EMC CLARiiON CX3 RAID-0 with an active
+// read cache (2.5GB) much smaller than our workload" (§5.3).
+func CX3Config(seed int64) ArrayConfig {
+	return ArrayConfig{
+		Name:           "EMC CLARiiON CX3 (RAID-0)",
+		Level:          RAID0,
+		Disks:          8,
+		DiskParams:     DefaultDiskParams(150 << 21),
+		StripeSectors:  128,
+		ReadCacheBytes: 5 << 29, // 2.5 GB
+		ReadAheadLines: 8,
+		WriteBackBytes: 1 << 30,
+		TransportDelay: 150 * simclock.Microsecond,
+		Seed:           seed,
+	}
+}
+
+// CX3NoCacheConfig is the CX3 with its read cache turned off, "forcing all
+// I/Os to hit the disk" — the paper's extreme worst case for Figure 6.
+// Write-back absorption is disabled too so writes also reach the spindles.
+func CX3NoCacheConfig(seed int64) ArrayConfig {
+	cfg := CX3Config(seed)
+	cfg.Name = "EMC CLARiiON CX3 (RAID-0, cache off)"
+	cfg.ReadCacheBytes = 0
+	cfg.ReadAheadLines = 0
+	cfg.WriteBackBytes = 0
+	return cfg
+}
+
+// LocalDiskConfig models a single direct-attached spindle with no array
+// cache: the simplest possible substrate, useful in examples and tests.
+func LocalDiskConfig(seed int64) ArrayConfig {
+	return ArrayConfig{
+		Name:          "local disk",
+		Level:         RAID0,
+		Disks:         1,
+		DiskParams:    DefaultDiskParams(150 << 21),
+		StripeSectors: 128,
+		Seed:          seed,
+	}
+}

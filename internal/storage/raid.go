@@ -1,0 +1,124 @@
+package storage
+
+import "vscsistats/internal/simclock"
+
+// RAID failure and rebuild: FailDisk takes a spindle out of service;
+// RAID5 arrays keep serving through the degraded paths in fanOut, and
+// ReplaceAndRebuild swaps in a fresh spindle and reconstructs it row by row
+// from the survivors. Rebuild I/O shares the spindles with foreground
+// traffic, so a rebuilding array is visibly slower — the classic RAID
+// trade-off, and another workload-interference source the characterization
+// service can observe.
+
+// rebuildState tracks an in-progress reconstruction.
+type rebuildState struct {
+	disk      int
+	watermark uint64 // rows below this diskLBA are reconstructed
+	rows      uint64
+	done      func()
+}
+
+// FailDisk marks a spindle failed. In-flight operations on it still
+// complete (the failure is detected at the controller for new commands).
+// Failing an already-failed disk is a no-op.
+func (a *Array) FailDisk(i int) {
+	a.failed[i] = true
+}
+
+// Failed reports whether the spindle is out of service.
+func (a *Array) Failed(i int) bool { return a.failed[i] }
+
+// Degraded reports whether any spindle is failed or rebuilding.
+func (a *Array) Degraded() bool {
+	for _, f := range a.failed {
+		if f {
+			return true
+		}
+	}
+	return a.rebuild != nil
+}
+
+// DegradedOps counts operations served through a degraded path.
+func (a *Array) DegradedOps() uint64 { return a.degradedOps }
+
+// RebuildProgress reports reconstruction progress in [0,1]; 1 when no
+// rebuild is running.
+func (a *Array) RebuildProgress() float64 {
+	if a.rebuild == nil {
+		return 1
+	}
+	if a.rebuild.rows == 0 {
+		return 1
+	}
+	return float64(a.rebuild.watermark) / float64(a.rebuild.rows*a.cfg.StripeSectors)
+}
+
+// ReplaceAndRebuild swaps spindle i for a fresh one and reconstructs its
+// contents in the background, invoking done when the array is whole again.
+// RAID0 has no redundancy: the replacement comes up immediately (the data
+// on it is lost, which the caller's dataset must tolerate) and done runs at
+// once. Only one rebuild may run at a time; starting a second panics.
+func (a *Array) ReplaceAndRebuild(i int, done func()) {
+	if !a.failed[i] {
+		panic("storage: rebuilding a healthy disk")
+	}
+	if a.rebuild != nil {
+		panic("storage: rebuild already in progress")
+	}
+	a.disks[i] = NewDisk(a.eng, a.cfg.DiskParams, simclock.NewRand(a.cfg.Seed+int64(i)+100))
+	a.failed[i] = false
+	if a.cfg.Level == RAID0 {
+		if done != nil {
+			done()
+		}
+		return
+	}
+	rows := a.cfg.DiskParams.CapacitySectors / a.cfg.StripeSectors
+	a.rebuild = &rebuildState{disk: i, rows: rows, done: done}
+	a.rebuildRow(0)
+}
+
+// rebuildRow reconstructs one stripe row: read the row from every surviving
+// peer, then write the reconstruction to the replacement, then move on.
+func (a *Array) rebuildRow(row uint64) {
+	rb := a.rebuild
+	if rb == nil {
+		return
+	}
+	if row >= rb.rows {
+		a.rebuild = nil
+		if rb.done != nil {
+			rb.done()
+		}
+		return
+	}
+	diskLBA := row * a.cfg.StripeSectors
+	remaining := 0
+	for peer := range a.disks {
+		if peer == rb.disk || a.failed[peer] {
+			continue
+		}
+		remaining++
+	}
+	if remaining == 0 {
+		// Nothing to reconstruct from; abandon (double failure).
+		a.rebuild = nil
+		return
+	}
+	reads := remaining
+	for peer := range a.disks {
+		if peer == rb.disk || a.failed[peer] {
+			continue
+		}
+		a.disks[peer].Submit(diskLBA, uint32(a.cfg.StripeSectors), false, func() {
+			reads--
+			if reads > 0 {
+				return
+			}
+			a.disks[rb.disk].Submit(diskLBA, uint32(a.cfg.StripeSectors), true, func() {
+				rb.watermark = (row + 1) * a.cfg.StripeSectors
+				a.rebuildRow(row + 1)
+			})
+		})
+	}
+}

@@ -1,0 +1,228 @@
+package storage
+
+import (
+	"testing"
+
+	"vscsistats/internal/simclock"
+)
+
+// smallRAID5 builds a tiny RAID5 array so rebuilds finish quickly.
+func smallRAID5(t *testing.T) (*simclock.Engine, *Array) {
+	t.Helper()
+	eng := simclock.NewEngine()
+	p := DefaultDiskParams(16 << 10) // 16K sectors per spindle
+	a := NewArray(eng, ArrayConfig{
+		Name: "r5", Level: RAID5, Disks: 4, DiskParams: p,
+		StripeSectors: 128, Seed: 1,
+	})
+	return eng, a
+}
+
+func TestRAID5DegradedReadReconstructs(t *testing.T) {
+	eng, a := smallRAID5(t)
+	// Stripe 0 lives on disk 1 (parity on 0).
+	a.FailDisk(1)
+	if !a.Degraded() {
+		t.Fatal("array should be degraded")
+	}
+	ok := false
+	var before [4]uint64
+	for i, d := range a.disks {
+		before[i] = d.Served()
+	}
+	a.Read(0, 128, func(got bool) { ok = got })
+	eng.Run()
+	if !ok {
+		t.Fatal("degraded read failed")
+	}
+	// The failed disk served nothing; every survivor served one read.
+	if a.disks[1].Served() != before[1] {
+		t.Error("failed disk serviced I/O")
+	}
+	for _, peer := range []int{0, 2, 3} {
+		if a.disks[peer].Served() != before[peer]+1 {
+			t.Errorf("peer %d served %d, want %d", peer, a.disks[peer].Served(), before[peer]+1)
+		}
+	}
+	if a.DegradedOps() != 1 {
+		t.Errorf("DegradedOps = %d", a.DegradedOps())
+	}
+}
+
+func TestRAID5DegradedWriteUsesParity(t *testing.T) {
+	eng, a := smallRAID5(t)
+	a.FailDisk(1)
+	ok := false
+	a.Write(0, 128, func(got bool) { ok = got })
+	eng.Run()
+	if !ok {
+		t.Fatal("degraded write failed")
+	}
+	// Parity disk (0) carried the write; survivors 2,3 untouched.
+	if a.disks[0].Served() != 1 || a.disks[2].Served() != 0 {
+		t.Errorf("served: %d %d %d %d", a.disks[0].Served(), a.disks[1].Served(),
+			a.disks[2].Served(), a.disks[3].Served())
+	}
+}
+
+func TestRAID5DoubleFailureUnrecoverable(t *testing.T) {
+	eng, a := smallRAID5(t)
+	a.FailDisk(1)
+	a.FailDisk(2)
+	got := true
+	a.Read(0, 128, func(ok bool) { got = ok })
+	eng.Run()
+	if got {
+		t.Fatal("double failure should fail reads of lost stripes")
+	}
+	if a.ReadErrors() == 0 {
+		t.Error("read error not accounted")
+	}
+}
+
+func TestRAID0FailureLosesData(t *testing.T) {
+	eng := simclock.NewEngine()
+	a := NewArray(eng, ArrayConfig{Name: "r0", Level: RAID0, Disks: 2,
+		DiskParams: DefaultDiskParams(16 << 10), StripeSectors: 128, Seed: 1})
+	a.FailDisk(0)
+	got := true
+	a.Read(0, 64, func(ok bool) { got = ok })
+	eng.Run()
+	if got {
+		t.Fatal("RAID0 read of failed disk should fail")
+	}
+	// Replacement restores service immediately (blank data).
+	done := false
+	a.ReplaceAndRebuild(0, func() { done = true })
+	if !done {
+		t.Fatal("RAID0 replace should complete synchronously")
+	}
+	ok2 := false
+	a.Read(0, 64, func(ok bool) { ok2 = ok })
+	eng.Run()
+	if !ok2 {
+		t.Error("replaced RAID0 disk should serve")
+	}
+}
+
+func TestRAID5RebuildRestoresArray(t *testing.T) {
+	eng, a := smallRAID5(t)
+	a.FailDisk(1)
+	rebuilt := false
+	a.ReplaceAndRebuild(1, func() { rebuilt = true })
+	if a.RebuildProgress() >= 1 {
+		t.Fatal("rebuild should be in progress")
+	}
+	eng.Run()
+	if !rebuilt {
+		t.Fatal("rebuild never completed")
+	}
+	if a.Degraded() || a.RebuildProgress() != 1 {
+		t.Errorf("post-rebuild state: degraded=%v progress=%v", a.Degraded(), a.RebuildProgress())
+	}
+	// The array serves normally again: stripe 0 read touches only disk 1.
+	for _, d := range a.disks {
+		_ = d.Served()
+	}
+	before := a.disks[1].Served()
+	ok := false
+	a.Read(0, 128, func(got bool) { ok = got })
+	eng.Run()
+	if !ok || a.disks[1].Served() != before+1 {
+		t.Error("rebuilt disk not serving directly")
+	}
+}
+
+func TestRAID5RebuildWatermarkServesRebuiltRows(t *testing.T) {
+	eng, a := smallRAID5(t)
+	a.FailDisk(1)
+	a.ReplaceAndRebuild(1, nil)
+	// Let a few rows rebuild, then stop the engine mid-rebuild.
+	eng.RunUntil(20 * simclock.Millisecond)
+	progress := a.RebuildProgress()
+	if progress <= 0 || progress >= 1 {
+		t.Fatalf("mid-rebuild progress = %v", progress)
+	}
+	// A read below the watermark goes straight to the rebuilt spindle; one
+	// above reconstructs from peers (degraded count increases).
+	before := a.DegradedOps()
+	okLow := false
+	a.Read(0, 128, func(ok bool) { okLow = ok }) // row 0: rebuilt first
+	// Find the stripe mapped to disk 1's very last row.
+	var lateLBA uint64
+	for lba := uint64(0); lba+128 <= a.CapacitySectors(); lba += a.cfg.StripeSectors {
+		c := a.mapExtent(lba, 128)[0]
+		if c.disk == 1 {
+			lateLBA = lba
+		}
+	}
+	okHigh := false
+	a.Read(lateLBA, 128, func(ok bool) { okHigh = ok })
+	eng.Run() // drains the rebuild too
+	if !okLow || !okHigh {
+		t.Fatalf("reads failed: low=%v high=%v", okLow, okHigh)
+	}
+	if a.DegradedOps() == before {
+		t.Error("above-watermark read should have reconstructed")
+	}
+}
+
+func TestRebuildValidation(t *testing.T) {
+	_, a := smallRAID5(t)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("rebuilding healthy disk should panic")
+			}
+		}()
+		a.ReplaceAndRebuild(0, nil)
+	}()
+	a.FailDisk(0)
+	a.ReplaceAndRebuild(0, nil)
+	a.FailDisk(2)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second concurrent rebuild should panic")
+			}
+		}()
+		a.ReplaceAndRebuild(2, nil)
+	}()
+}
+
+func TestRebuildSlowsForegroundIO(t *testing.T) {
+	// Foreground latency during rebuild must exceed the healthy baseline:
+	// reconstruction I/O occupies the spindles.
+	measure := func(rebuild bool) simclock.Time {
+		eng, a := smallRAID5(t)
+		if rebuild {
+			a.FailDisk(1)
+			a.ReplaceAndRebuild(1, nil)
+		}
+		var total simclock.Time
+		const n = 20
+		doneCount := 0
+		rng := simclock.NewRand(9)
+		for i := 0; i < n; i++ {
+			i := i
+			eng.At(simclock.Time(i)*5*simclock.Millisecond, func(simclock.Time) {
+				start := eng.Now()
+				lba := uint64(rng.Int63n(int64(a.CapacitySectors()/128))) * 128
+				a.Read(lba, 16, func(bool) {
+					total += eng.Now() - start
+					doneCount++
+				})
+			})
+		}
+		eng.RunUntil(simclock.Second)
+		if doneCount != n {
+			t.Fatalf("completed %d of %d", doneCount, n)
+		}
+		return total / n
+	}
+	healthy := measure(false)
+	rebuilding := measure(true)
+	if rebuilding <= healthy {
+		t.Errorf("rebuild should slow foreground I/O: healthy %v, rebuilding %v", healthy, rebuilding)
+	}
+}

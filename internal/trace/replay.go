@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"sort"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+// Replay feeds a trace back through a collector, reproducing exactly the
+// histograms the online service would have built — the bridge between the
+// paper's two modes ("whether calculating online or replaying a trace, the
+// resulting CPU cost is O(n)"). Records are replayed per (VM, disk) stream
+// in issue order, with completions interleaved by timestamp.
+func Replay(records []Record, col *core.Collector) {
+	type event struct {
+		at    int64
+		seq   int // tie-break: original order
+		issue bool
+		req   *vscsi.Request
+	}
+	events := make([]event, 0, 2*len(records))
+	for i, r := range records {
+		req := &vscsi.Request{
+			ID:                 r.Seq,
+			VM:                 r.VM,
+			Disk:               r.Disk,
+			Cmd:                scsi.Command{Op: r.Op, LBA: r.LBA, Blocks: r.Blocks},
+			IssueTime:          simclock.Time(r.IssueMicros) * simclock.Microsecond,
+			CompleteTime:       simclock.Time(r.CompleteMicros) * simclock.Microsecond,
+			OutstandingAtIssue: int(r.Outstanding),
+			Status:             r.Status,
+		}
+		events = append(events,
+			event{at: r.IssueMicros, seq: i, issue: true, req: req},
+			event{at: r.CompleteMicros, seq: i, issue: false, req: req})
+	}
+	sort.SliceStable(events, func(a, b int) bool {
+		if events[a].at != events[b].at {
+			return events[a].at < events[b].at
+		}
+		// Completions before issues at the same instant, as on real
+		// hardware where a command must finish before its slot reissues.
+		if events[a].issue != events[b].issue {
+			return !events[a].issue
+		}
+		return events[a].seq < events[b].seq
+	})
+	for _, e := range events {
+		if e.issue {
+			col.OnIssue(e.req)
+		} else {
+			col.OnComplete(e.req)
+		}
+	}
+}
+
+// Filter returns the records satisfying keep, preserving order.
+func Filter(records []Record, keep func(Record) bool) []Record {
+	var out []Record
+	for _, r := range records {
+		if keep(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// SortByIssue orders records by issue time (stable).
+func SortByIssue(records []Record) {
+	sort.SliceStable(records, func(i, j int) bool {
+		return records[i].IssueMicros < records[j].IssueMicros
+	})
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/vscsi"
+)
+
+// StreamWriter is an unbounded tracing observer that appends records to an
+// io.Writer as commands complete, for captures larger than any sensible
+// ring. The stream format is a sequence of self-describing frames (so the
+// string table can grow as new VMs appear), distinct from the at-rest
+// format of Write/Read:
+//
+//	frame := 'S' u16 id u16 len bytes   (define string id)
+//	       | 'R' record (44 bytes)      (one command)
+//
+// Close flushes; ReadStream consumes the format.
+type StreamWriter struct {
+	w    *bufio.Writer
+	ids  map[string]uint16
+	next uint16
+
+	count uint64
+	err   error
+}
+
+// NewStreamWriter begins streaming to w.
+func NewStreamWriter(w io.Writer) *StreamWriter {
+	return &StreamWriter{w: bufio.NewWriter(w), ids: make(map[string]uint16)}
+}
+
+// Count reports records written; Err the first write error (the stream
+// stops recording after an error).
+func (sw *StreamWriter) Count() uint64 { return sw.count }
+
+// Err reports the first write error; the stream stops recording after one.
+func (sw *StreamWriter) Err() error { return sw.err }
+
+var _ vscsi.Observer = (*StreamWriter)(nil)
+
+// OnIssue implements vscsi.Observer.
+func (sw *StreamWriter) OnIssue(*vscsi.Request) {}
+
+// OnComplete appends one record frame.
+func (sw *StreamWriter) OnComplete(r *vscsi.Request) {
+	if sw.err != nil {
+		return
+	}
+	sw.append(FromRequest(r))
+}
+
+// Append writes one record directly (for non-observer use).
+func (sw *StreamWriter) Append(rec Record) error {
+	sw.append(rec)
+	return sw.err
+}
+
+func (sw *StreamWriter) append(rec Record) {
+	vm, ok := sw.intern(rec.VM)
+	if !ok {
+		return
+	}
+	disk, ok := sw.intern(rec.Disk)
+	if !ok {
+		return
+	}
+	var b [1 + recordSize]byte
+	b[0] = 'R'
+	p := b[1:]
+	binary.LittleEndian.PutUint64(p[0:8], rec.Seq)
+	binary.LittleEndian.PutUint64(p[8:16], uint64(rec.IssueMicros))
+	binary.LittleEndian.PutUint64(p[16:24], uint64(rec.CompleteMicros))
+	binary.LittleEndian.PutUint64(p[24:32], rec.LBA)
+	binary.LittleEndian.PutUint32(p[32:36], rec.Blocks)
+	binary.LittleEndian.PutUint16(p[36:38], vm)
+	binary.LittleEndian.PutUint16(p[38:40], disk)
+	p[40] = byte(rec.Op)
+	p[41] = byte(rec.Status)
+	binary.LittleEndian.PutUint16(p[42:44], rec.Outstanding)
+	if _, err := sw.w.Write(b[:]); err != nil {
+		sw.err = err
+		return
+	}
+	sw.count++
+}
+
+func (sw *StreamWriter) intern(s string) (uint16, bool) {
+	if id, ok := sw.ids[s]; ok {
+		return id, true
+	}
+	if sw.next == 0xFFFF {
+		sw.err = fmt.Errorf("trace: stream string table full")
+		return 0, false
+	}
+	id := sw.next
+	sw.next++
+	sw.ids[s] = id
+	var head [5]byte
+	head[0] = 'S'
+	binary.LittleEndian.PutUint16(head[1:3], id)
+	binary.LittleEndian.PutUint16(head[3:5], uint16(len(s)))
+	if _, err := sw.w.Write(head[:]); err != nil {
+		sw.err = err
+		return 0, false
+	}
+	if _, err := sw.w.WriteString(s); err != nil {
+		sw.err = err
+		return 0, false
+	}
+	return id, true
+}
+
+// Close flushes buffered frames.
+func (sw *StreamWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+// ReadStream parses a stream produced by StreamWriter.
+func ReadStream(r io.Reader) ([]Record, error) {
+	br := bufio.NewReader(r)
+	strs := make(map[uint16]string)
+	var out []Record
+	var buf [recordSize]byte
+	for {
+		tag, err := br.ReadByte()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		switch tag {
+		case 'S':
+			if _, err := io.ReadFull(br, buf[:4]); err != nil {
+				return out, fmt.Errorf("%w: string frame: %v", ErrCorrupt, err)
+			}
+			id := binary.LittleEndian.Uint16(buf[0:2])
+			name := make([]byte, binary.LittleEndian.Uint16(buf[2:4]))
+			if _, err := io.ReadFull(br, name); err != nil {
+				return out, fmt.Errorf("%w: string frame: %v", ErrCorrupt, err)
+			}
+			strs[id] = string(name)
+		case 'R':
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return out, fmt.Errorf("%w: record frame: %v", ErrCorrupt, err)
+			}
+			vm, okVM := strs[binary.LittleEndian.Uint16(buf[36:38])]
+			disk, okDisk := strs[binary.LittleEndian.Uint16(buf[38:40])]
+			if !okVM || !okDisk {
+				return out, fmt.Errorf("%w: record references undefined name", ErrCorrupt)
+			}
+			out = append(out, Record{
+				Seq:            binary.LittleEndian.Uint64(buf[0:8]),
+				IssueMicros:    int64(binary.LittleEndian.Uint64(buf[8:16])),
+				CompleteMicros: int64(binary.LittleEndian.Uint64(buf[16:24])),
+				LBA:            binary.LittleEndian.Uint64(buf[24:32]),
+				Blocks:         binary.LittleEndian.Uint32(buf[32:36]),
+				VM:             vm,
+				Disk:           disk,
+				Op:             scsi.OpCode(buf[40]),
+				Status:         scsi.Status(buf[41]),
+				Outstanding:    binary.LittleEndian.Uint16(buf[42:44]),
+			})
+		default:
+			return out, fmt.Errorf("%w: unknown frame tag %q", ErrCorrupt, tag)
+		}
+	}
+}

@@ -1,0 +1,429 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+func sampleRecords(n int) []Record {
+	out := make([]Record, n)
+	for i := range out {
+		op := scsi.OpRead10
+		if i%3 == 0 {
+			op = scsi.OpWrite10
+		}
+		out[i] = Record{
+			Seq:            uint64(i),
+			IssueMicros:    int64(i) * 100,
+			CompleteMicros: int64(i)*100 + 2000,
+			VM:             "vm" + string(rune('A'+i%2)),
+			Disk:           "scsi0:0",
+			Op:             op,
+			LBA:            uint64(i) * 8,
+			Blocks:         8,
+			Outstanding:    uint16(i % 32),
+			Status:         scsi.StatusGood,
+		}
+	}
+	return out
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	recs := sampleRecords(100)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("len = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: %+v != %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWriteReadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("got %v, %v", got, err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not a trace at all")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: %v", err)
+	}
+	if _, err := Read(strings.NewReader("VS")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("short: %v", err)
+	}
+	// Wrong version.
+	var buf bytes.Buffer
+	Write(&buf, sampleRecords(1))
+	b := buf.Bytes()
+	b[4] = 99
+	if _, err := Read(bytes.NewReader(b)); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version: %v", err)
+	}
+	// Truncated records.
+	buf.Reset()
+	Write(&buf, sampleRecords(10))
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()-10])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+// Property: round trip is the identity for arbitrary record contents.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seq uint64, issue, lat int32, lba uint64, blocks uint32, oio uint16, write bool) bool {
+		op := scsi.OpRead16
+		if write {
+			op = scsi.OpWrite16
+		}
+		rec := Record{
+			Seq: seq, IssueMicros: int64(issue), CompleteMicros: int64(issue) + int64(lat),
+			VM: "vm", Disk: "d", Op: op, LBA: lba, Blocks: blocks,
+			Outstanding: oio, Status: scsi.StatusGood,
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, []Record{rec}); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		return err == nil && len(got) == 1 && got[0] == rec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, sampleRecords(2)); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %v", lines)
+	}
+	if !strings.HasPrefix(lines[0], "seq,vm,disk,op") {
+		t.Errorf("header: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "WRITE(10)") || !strings.Contains(lines[1], ",2000,") {
+		t.Errorf("row: %s", lines[1])
+	}
+}
+
+func TestTracerRingOverwritesOldest(t *testing.T) {
+	tr := NewTracer(3)
+	tr.Enable()
+	eng := simclock.NewEngine()
+	backend := vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		done(scsi.StatusGood, scsi.Sense{})
+	})
+	d := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{VM: "v", Name: "d", CapacitySectors: 1 << 20})
+	d.AddObserver(tr)
+	for i := 0; i < 5; i++ {
+		d.Issue(scsi.Read(uint64(i*8), 8), nil)
+	}
+	eng.Run()
+	recs := tr.Records()
+	if len(recs) != 3 {
+		t.Fatalf("ring holds %d", len(recs))
+	}
+	if recs[0].Seq != 2 || recs[2].Seq != 4 {
+		t.Errorf("ring order: %v", recs)
+	}
+	if tr.Total() != 5 {
+		t.Errorf("Total = %d", tr.Total())
+	}
+	tr.Reset()
+	if len(tr.Records()) != 0 || tr.Total() != 5 {
+		t.Error("Reset should clear ring but keep lifetime total")
+	}
+}
+
+func TestTracerDisabledAndFiltered(t *testing.T) {
+	tr := NewTracer(10)
+	eng := simclock.NewEngine()
+	backend := vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		done(scsi.StatusGood, scsi.Sense{})
+	})
+	d := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{VM: "v", Name: "d", CapacitySectors: 1 << 20})
+	d.AddObserver(tr)
+	d.Issue(scsi.Read(0, 8), nil) // disabled: dropped
+	tr.Enable()
+	tr.Filter = OnlyBlockIO
+	d.Issue(scsi.Command{Op: scsi.OpTestUnitReady}, nil) // filtered
+	d.Issue(scsi.Write(8, 8), nil)
+	eng.Run()
+	recs := tr.Records()
+	if len(recs) != 1 || !recs[0].Op.IsWrite() {
+		t.Errorf("records: %v", recs)
+	}
+}
+
+func TestTracerValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("capacity 0 should panic")
+		}
+	}()
+	NewTracer(0)
+}
+
+func TestFilters(t *testing.T) {
+	recs := []Record{
+		{VM: "a", Disk: "d0", Op: scsi.OpRead10, Status: scsi.StatusGood},
+		{VM: "b", Disk: "d0", Op: scsi.OpInquiry, Status: scsi.StatusGood},
+		{VM: "a", Disk: "d1", Op: scsi.OpWrite10, Status: scsi.StatusCheckCondition},
+	}
+	if got := Filter(recs, OnlyBlockIO); len(got) != 2 {
+		t.Errorf("OnlyBlockIO: %v", got)
+	}
+	if got := Filter(recs, OnlyDisk("a", "d1")); len(got) != 1 || got[0].Op != scsi.OpWrite10 {
+		t.Errorf("OnlyDisk: %v", got)
+	}
+	if got := Filter(recs, OnlyErrors); len(got) != 1 {
+		t.Errorf("OnlyErrors: %v", got)
+	}
+	if got := Filter(recs, And(OnlyBlockIO, OnlyErrors)); len(got) != 1 {
+		t.Errorf("And: %v", got)
+	}
+}
+
+func TestSortByIssue(t *testing.T) {
+	recs := []Record{{IssueMicros: 30}, {IssueMicros: 10}, {IssueMicros: 20}}
+	SortByIssue(recs)
+	if recs[0].IssueMicros != 10 || recs[2].IssueMicros != 30 {
+		t.Errorf("sorted: %v", recs)
+	}
+}
+
+// Replay must rebuild exactly the histograms the online collector built.
+func TestReplayMatchesOnline(t *testing.T) {
+	eng := simclock.NewEngine()
+	backend := vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		eng.After(simclock.Time(1+r.Cmd.LBA%5)*simclock.Millisecond, func(simclock.Time) {
+			done(scsi.StatusGood, scsi.Sense{})
+		})
+	})
+	d := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{VM: "v", Name: "d", CapacitySectors: 1 << 24})
+	online := core.NewCollector("v", "d")
+	online.Enable()
+	d.AddObserver(online)
+	tr := NewTracer(10000)
+	tr.Enable()
+	d.AddObserver(tr)
+
+	rng := simclock.NewRand(5)
+	for i := 0; i < 500; i++ {
+		at := simclock.Time(i) * 500 * simclock.Microsecond
+		lba := uint64(rng.Int63n(1 << 20))
+		write := rng.Intn(2) == 0
+		eng.At(at, func(simclock.Time) {
+			if write {
+				d.Issue(scsi.Write(lba, 16), nil)
+			} else {
+				d.Issue(scsi.Read(lba, 8), nil)
+			}
+		})
+	}
+	eng.Run()
+
+	replayed := core.NewCollector("v", "d")
+	replayed.Enable()
+	Replay(tr.Records(), replayed)
+
+	so, sr := online.Snapshot(), replayed.Snapshot()
+	if so.Commands != sr.Commands || so.NumReads != sr.NumReads {
+		t.Fatalf("counters differ: %d/%d vs %d/%d", so.Commands, so.NumReads, sr.Commands, sr.NumReads)
+	}
+	for _, m := range core.Metrics() {
+		for _, cl := range []core.Class{core.All, core.Reads, core.Writes} {
+			ho, hr := so.Histogram(m, cl), sr.Histogram(m, cl)
+			if ho.Total != hr.Total {
+				t.Errorf("%s/%s totals differ: %d vs %d", m, cl, ho.Total, hr.Total)
+				continue
+			}
+			for i := range ho.Counts {
+				if ho.Counts[i] != hr.Counts[i] {
+					t.Errorf("%s/%s bin %d: online %d, replay %d", m, cl, i, ho.Counts[i], hr.Counts[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestReplayFromSerializedTrace(t *testing.T) {
+	recs := sampleRecords(50)
+	var buf bytes.Buffer
+	if err := Write(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col := core.NewCollector("vmA", "scsi0:0")
+	col.Enable()
+	Replay(Filter(loaded, OnlyDisk("vmA", "scsi0:0")), col)
+	s := col.Snapshot()
+	if s.Commands != 25 { // half the records belong to vmA
+		t.Errorf("Commands = %d, want 25", s.Commands)
+	}
+	if s.Latency[core.All].Min != 2000 || s.Latency[core.All].Max != 2000 {
+		t.Errorf("latency min/max = %d/%d, want 2000", s.Latency[core.All].Min, s.Latency[core.All].Max)
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	recs := sampleRecords(10000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReplay(b *testing.B) {
+	recs := sampleRecords(10000)
+	for i := range recs {
+		recs[i].VM, recs[i].Disk = "v", "d"
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		col := core.NewCollector("v", "d")
+		col.Enable()
+		Replay(recs, col)
+	}
+}
+
+func TestStreamWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	recs := sampleRecords(200)
+	for _, r := range recs {
+		if err := sw.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Count() != 200 {
+		t.Errorf("Count = %d", sw.Count())
+	}
+	got, err := ReadStream(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+}
+
+func TestStreamWriterAsObserver(t *testing.T) {
+	var buf bytes.Buffer
+	sw := NewStreamWriter(&buf)
+	eng := simclock.NewEngine()
+	backend := vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		done(scsi.StatusGood, scsi.Sense{})
+	})
+	d := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{VM: "v", Name: "d", CapacitySectors: 1 << 20})
+	d.AddObserver(sw)
+	for i := 0; i < 10; i++ {
+		d.Issue(scsi.Read(uint64(i*8), 8), nil)
+	}
+	eng.Run()
+	sw.Close()
+	got, err := ReadStream(&buf)
+	if err != nil || len(got) != 10 {
+		t.Fatalf("got %d records, err %v", len(got), err)
+	}
+	if got[3].Seq != 3 || got[3].VM != "v" {
+		t.Errorf("record: %+v", got[3])
+	}
+}
+
+func TestReadStreamErrors(t *testing.T) {
+	if _, err := ReadStream(strings.NewReader("Xjunk")); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("unknown tag: %v", err)
+	}
+	// Record referencing an undefined string id.
+	var buf bytes.Buffer
+	buf.WriteByte('R')
+	buf.Write(make([]byte, recordSize))
+	// id 0 undefined -> corrupt
+	if _, err := ReadStream(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("undefined name: %v", err)
+	}
+	// Truncated string frame.
+	buf.Reset()
+	buf.WriteByte('S')
+	buf.Write([]byte{0, 0})
+	if _, err := ReadStream(&buf); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated: %v", err)
+	}
+}
+
+type failWriter struct{ n int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	f.n += len(p)
+	if f.n > 4096 {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestStreamWriterStopsOnError(t *testing.T) {
+	sw := NewStreamWriter(&failWriter{})
+	for i := 0; i < 1000; i++ {
+		sw.Append(sampleRecords(1)[0])
+	}
+	if err := sw.Close(); err == nil {
+		t.Fatal("expected write error")
+	}
+	if sw.Count() == 1000 {
+		t.Error("writer should have stopped counting after the error")
+	}
+}
+
+func BenchmarkStreamWriterAppend(b *testing.B) {
+	sw := NewStreamWriter(io.Discard)
+	rec := sampleRecords(1)[0]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Seq = uint64(i)
+		if err := sw.Append(rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

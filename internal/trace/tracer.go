@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/vscsi"
+)
+
+// Tracer is a vscsi.Observer that captures completed commands into a
+// bounded ring. A bounded buffer keeps always-on tracing at fixed memory
+// cost — the O(n) space of a full trace is exactly what the paper's
+// histograms avoid, so the tracer must be explicitly sized.
+type Tracer struct {
+	ring    []Record
+	next    int
+	total   uint64
+	enabled bool
+
+	// Filter, if non-nil, drops records for which it returns false.
+	Filter func(Record) bool
+}
+
+// NewTracer creates a tracer retaining the most recent capacity records.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		panic("trace: tracer capacity must be positive")
+	}
+	return &Tracer{ring: make([]Record, 0, capacity)}
+}
+
+// Enable and Disable toggle capture.
+func (t *Tracer) Enable() { t.enabled = true }
+
+// Disable stops capture without discarding the ring.
+func (t *Tracer) Disable() { t.enabled = false }
+
+// Enabled reports whether the tracer is capturing.
+func (t *Tracer) Enabled() bool { return t.enabled }
+
+// Total reports the number of records captured over the tracer's lifetime
+// (including those that have since been overwritten).
+func (t *Tracer) Total() uint64 { return t.total }
+
+var _ vscsi.Observer = (*Tracer)(nil)
+
+// OnIssue implements vscsi.Observer; tracing happens at completion, when
+// both timestamps and status are known.
+func (t *Tracer) OnIssue(*vscsi.Request) {}
+
+// OnComplete captures the finished command.
+func (t *Tracer) OnComplete(r *vscsi.Request) {
+	if !t.enabled {
+		return
+	}
+	rec := FromRequest(r)
+	if t.Filter != nil && !t.Filter(rec) {
+		return
+	}
+	t.total++
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+		return
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % cap(t.ring)
+}
+
+// Records returns the captured records in capture order (oldest first).
+func (t *Tracer) Records() []Record {
+	out := make([]Record, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Reset discards captured records (the lifetime total is preserved).
+func (t *Tracer) Reset() {
+	t.ring = t.ring[:0]
+	t.next = 0
+}
+
+// Common filters.
+
+// OnlyBlockIO keeps reads and writes, dropping emulated control commands.
+func OnlyBlockIO(r Record) bool { return r.Op.IsBlockIO() }
+
+// OnlyDisk keeps one virtual disk's commands.
+func OnlyDisk(vm, disk string) func(Record) bool {
+	return func(r Record) bool { return r.VM == vm && r.Disk == disk }
+}
+
+// OnlyErrors keeps failed commands.
+func OnlyErrors(r Record) bool { return r.Status != scsi.StatusGood }
+
+// And combines filters conjunctively.
+func And(filters ...func(Record) bool) func(Record) bool {
+	return func(r Record) bool {
+		for _, f := range filters {
+			if !f(r) {
+				return false
+			}
+		}
+		return true
+	}
+}

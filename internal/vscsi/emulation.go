@@ -1,0 +1,125 @@
+package vscsi
+
+import (
+	"encoding/binary"
+
+	"vscsistats/internal/scsi"
+)
+
+// This file implements the data-in payloads of the emulated non-I/O SCSI
+// commands. ESX "emulates LSI Logic or Bus Logic SCSI devices" (§2): the
+// guest driver probes the virtual disk with INQUIRY, READ CAPACITY, MODE
+// SENSE and REPORT LUNS during boot, and the emulation answers from the
+// disk's configuration without touching the backend.
+
+// Inquiry identity strings, padded per SPC to 8/16/4 bytes.
+const (
+	inquiryVendor   = "VSCSIST "
+	inquiryProduct  = "Virtual disk    "
+	inquiryRevision = "1.0 "
+)
+
+// EmulateDataIn produces the data-in payload for an emulated command, or
+// (nil, false) when the opcode carries no emulated payload (block I/O and
+// unknown commands). The payload reflects the virtual disk's configuration
+// at call time.
+func (d *Disk) EmulateDataIn(cmd scsi.Command) ([]byte, bool) {
+	switch cmd.Op {
+	case scsi.OpInquiry:
+		return d.inquiryData(), true
+	case scsi.OpReadCapacity10:
+		return d.readCapacity10(), true
+	case scsi.OpReadCapacity16:
+		return d.readCapacity16(), true
+	case scsi.OpReportLuns:
+		return d.reportLuns(), true
+	case scsi.OpModeSense6:
+		return d.modeSense6(), true
+	case scsi.OpModeSense10:
+		return d.modeSense10(), true
+	case scsi.OpRequestSense:
+		return d.lastSense.EncodeFixed(), true
+	case scsi.OpTestUnitReady, scsi.OpSynchronizeCache10:
+		return nil, true // valid commands with no data-in phase
+	default:
+		return nil, false
+	}
+}
+
+// inquiryData is standard INQUIRY data (36 bytes): direct-access device,
+// SPC-3, with the vendor/product/revision identity.
+func (d *Disk) inquiryData() []byte {
+	b := make([]byte, 36)
+	b[0] = 0x00 // peripheral: direct-access block device, connected
+	b[2] = 0x05 // version: SPC-3
+	b[3] = 0x02 // response data format 2
+	b[4] = 31   // additional length
+	b[7] = 0x02 // CmdQue: tagged queuing
+	copy(b[8:16], inquiryVendor)
+	copy(b[16:32], inquiryProduct)
+	copy(b[32:36], inquiryRevision)
+	return b
+}
+
+// readCapacity10 returns the last LBA (clamped to 0xFFFFFFFF per SBC, which
+// tells the initiator to use READ CAPACITY(16)) and the block length.
+func (d *Disk) readCapacity10() []byte {
+	b := make([]byte, 8)
+	last := d.cfg.CapacitySectors - 1
+	if last > 0xFFFFFFFF {
+		last = 0xFFFFFFFF
+	}
+	binary.BigEndian.PutUint32(b[0:4], uint32(last))
+	binary.BigEndian.PutUint32(b[4:8], scsi.SectorSize)
+	return b
+}
+
+func (d *Disk) readCapacity16() []byte {
+	b := make([]byte, 32)
+	binary.BigEndian.PutUint64(b[0:8], d.cfg.CapacitySectors-1)
+	binary.BigEndian.PutUint32(b[8:12], scsi.SectorSize)
+	return b
+}
+
+// reportLuns reports the single LUN 0.
+func (d *Disk) reportLuns() []byte {
+	b := make([]byte, 16)
+	binary.BigEndian.PutUint32(b[0:4], 8) // LUN list length: one entry
+	// Entry bytes 8..15 stay zero: LUN 0.
+	return b
+}
+
+// cachingModePage is mode page 08h: write cache enabled, read cache
+// enabled, matching the array model's defaults.
+func cachingModePage() []byte {
+	page := make([]byte, 20)
+	page[0] = 0x08 // page code
+	page[1] = 18   // page length
+	page[2] = 0x04 // WCE=1, RCD=0
+	return page
+}
+
+func (d *Disk) modeSense6() []byte {
+	page := cachingModePage()
+	b := make([]byte, 4, 4+len(page))
+	b[0] = byte(3 + len(page)) // mode data length excludes itself
+	return append(b, page...)
+}
+
+func (d *Disk) modeSense10() []byte {
+	page := cachingModePage()
+	b := make([]byte, 8, 8+len(page))
+	binary.BigEndian.PutUint16(b[0:2], uint16(6+len(page)))
+	return append(b, page...)
+}
+
+// DecodeCapacity10 and DecodeCapacity16 parse READ CAPACITY payloads, for
+// guests (and tests) consuming the emulation.
+func DecodeCapacity10(b []byte) (lastLBA uint64, blockLen uint32) {
+	return uint64(binary.BigEndian.Uint32(b[0:4])), binary.BigEndian.Uint32(b[4:8])
+}
+
+// DecodeCapacity16 parses a READ CAPACITY(16) payload.
+func DecodeCapacity16(b []byte) (lastLBA uint64, blockLen uint32) {
+	return binary.BigEndian.Uint64(b[0:8]), binary.BigEndian.Uint32(b[8:12])
+}

@@ -1,0 +1,117 @@
+package vscsi
+
+import (
+	"testing"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+)
+
+func emulationDisk(t *testing.T, capacity uint64) (*simclock.Engine, *Disk) {
+	t.Helper()
+	eng := simclock.NewEngine()
+	backend := BackendFunc(func(r *Request, done func(scsi.Status, scsi.Sense)) {
+		done(scsi.StatusGood, scsi.Sense{})
+	})
+	return eng, NewDisk(eng, backend, DiskConfig{VM: "v", Name: "d", CapacitySectors: capacity})
+}
+
+func TestEmulateInquiry(t *testing.T) {
+	_, d := emulationDisk(t, 1<<20)
+	b, ok := d.EmulateDataIn(scsi.Command{Op: scsi.OpInquiry})
+	if !ok || len(b) != 36 {
+		t.Fatalf("inquiry: ok=%v len=%d", ok, len(b))
+	}
+	if b[0] != 0 {
+		t.Error("peripheral type should be direct-access")
+	}
+	if string(b[8:16]) != "VSCSIST " {
+		t.Errorf("vendor = %q", b[8:16])
+	}
+	if b[7]&0x02 == 0 {
+		t.Error("CmdQue should be set (the device supports queuing)")
+	}
+}
+
+func TestEmulateReadCapacity(t *testing.T) {
+	_, d := emulationDisk(t, 1<<20)
+	b, ok := d.EmulateDataIn(scsi.Command{Op: scsi.OpReadCapacity10})
+	if !ok {
+		t.Fatal("no payload")
+	}
+	last, blockLen := DecodeCapacity10(b)
+	if last != 1<<20-1 || blockLen != 512 {
+		t.Errorf("cap10: last=%d block=%d", last, blockLen)
+	}
+	b, _ = d.EmulateDataIn(scsi.Command{Op: scsi.OpReadCapacity16})
+	last, blockLen = DecodeCapacity16(b)
+	if last != 1<<20-1 || blockLen != 512 {
+		t.Errorf("cap16: last=%d block=%d", last, blockLen)
+	}
+}
+
+func TestEmulateReadCapacity10ClampsHuge(t *testing.T) {
+	_, d := emulationDisk(t, 1<<40)
+	b, _ := d.EmulateDataIn(scsi.Command{Op: scsi.OpReadCapacity10})
+	last, _ := DecodeCapacity10(b)
+	if last != 0xFFFFFFFF {
+		t.Errorf("huge disk should clamp: %d", last)
+	}
+	b, _ = d.EmulateDataIn(scsi.Command{Op: scsi.OpReadCapacity16})
+	last16, _ := DecodeCapacity16(b)
+	if last16 != 1<<40-1 {
+		t.Errorf("cap16 should not clamp: %d", last16)
+	}
+}
+
+func TestEmulateReportLunsAndModeSense(t *testing.T) {
+	_, d := emulationDisk(t, 1<<20)
+	b, ok := d.EmulateDataIn(scsi.Command{Op: scsi.OpReportLuns})
+	if !ok || len(b) != 16 || b[3] != 8 {
+		t.Errorf("report luns: %v %v", ok, b)
+	}
+	b, ok = d.EmulateDataIn(scsi.Command{Op: scsi.OpModeSense6})
+	if !ok || len(b) != 24 || b[4] != 0x08 {
+		t.Errorf("mode sense 6: %v % x", ok, b)
+	}
+	b, ok = d.EmulateDataIn(scsi.Command{Op: scsi.OpModeSense10})
+	if !ok || len(b) != 28 || b[8] != 0x08 {
+		t.Errorf("mode sense 10: %v % x", ok, b)
+	}
+}
+
+func TestEmulateRequestSenseReturnsLastError(t *testing.T) {
+	eng, d := emulationDisk(t, 1<<20)
+	// Zero sense while healthy.
+	b, ok := d.EmulateDataIn(scsi.Command{Op: scsi.OpRequestSense})
+	if !ok {
+		t.Fatal("no sense payload")
+	}
+	if sense, err := scsi.DecodeFixed(b); err != nil || !sense.IsZero() {
+		t.Errorf("initial sense: %v %v", sense, err)
+	}
+	// Fail a command, then REQUEST SENSE reflects it.
+	d.Issue(scsi.Read(1<<20, 8), nil) // out of range
+	eng.Run()
+	if d.LastSense() != scsi.SenseLBAOutOfRange {
+		t.Fatalf("LastSense = %v", d.LastSense())
+	}
+	b, _ = d.EmulateDataIn(scsi.Command{Op: scsi.OpRequestSense})
+	sense, err := scsi.DecodeFixed(b)
+	if err != nil || sense != scsi.SenseLBAOutOfRange {
+		t.Errorf("sense after error: %v %v", sense, err)
+	}
+}
+
+func TestEmulateNoPayloadForBlockIO(t *testing.T) {
+	_, d := emulationDisk(t, 1<<20)
+	if _, ok := d.EmulateDataIn(scsi.Read(0, 8)); ok {
+		t.Error("block I/O must not be emulated")
+	}
+	if b, ok := d.EmulateDataIn(scsi.Command{Op: scsi.OpTestUnitReady}); !ok || b != nil {
+		t.Error("TEST UNIT READY is valid but carries no data")
+	}
+	if _, ok := d.EmulateDataIn(scsi.Command{Op: scsi.OpCode(0xEE)}); ok {
+		t.Error("unknown opcode must not be emulated")
+	}
+}

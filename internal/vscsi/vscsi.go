@@ -1,0 +1,321 @@
+// Package vscsi implements the virtual SCSI device layer: the hypervisor
+// chokepoint through which every guest I/O flows and at which the paper's
+// online characterization service observes commands.
+//
+// A Disk is one virtual disk of one VM. Guests issue scsi.Commands to it;
+// the disk tracks in-flight commands, enforces an optional per-disk active
+// queue limit (ESX "maintains a queue of pending requests per virtual
+// machine for each target SCSI device"), forwards commands to a Backend (the
+// physical storage model) and notifies Observers at issue and completion
+// time. The stats collector (internal/core) and the trace framework
+// (internal/trace) are both Observers.
+package vscsi
+
+import (
+	"errors"
+	"fmt"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+)
+
+// Request is one virtual SCSI command in flight. Observers must treat a
+// Request as read-only.
+type Request struct {
+	// ID is unique per Disk, monotonically increasing in issue order.
+	ID uint64
+	// VM and Disk identify the issuing virtual machine and virtual disk.
+	VM, Disk string
+	// Cmd is the decoded SCSI command.
+	Cmd scsi.Command
+	// IssueTime is the virtual time the guest issued the command.
+	IssueTime simclock.Time
+	// SubmitTime is when the command left the pending queue for the
+	// backend; equal to IssueTime unless the active-queue limit held it.
+	SubmitTime simclock.Time
+	// CompleteTime is when the backend completed it (zero while in flight).
+	CompleteTime simclock.Time
+	// OutstandingAtIssue counts the other commands on this virtual disk
+	// that had been issued but not completed when this one arrived — the
+	// paper's "Outstanding I/Os" metric (§3.3).
+	OutstandingAtIssue int
+	// Status and Sense hold the completion result.
+	Status scsi.Status
+	Sense  scsi.Sense
+
+	// done is the caller's completion callback, held on the request so
+	// both the normal completion path and Abort can invoke it.
+	done func(*Request)
+	// aborted marks a request cancelled by the guest; the backend's late
+	// completion is then discarded.
+	aborted bool
+	// finished marks that observers/done already ran for this request.
+	finished bool
+}
+
+// Aborted reports whether the guest cancelled the command before it
+// completed.
+func (r *Request) Aborted() bool { return r.aborted }
+
+// Latency is the device latency observed by the guest: issue to completion.
+func (r *Request) Latency() simclock.Time { return r.CompleteTime - r.IssueTime }
+
+// Observer is notified on the vSCSI fast path. OnIssue runs after the
+// request is counted as outstanding but before it reaches the backend;
+// OnComplete runs after Status, Sense and CompleteTime are final.
+type Observer interface {
+	OnIssue(r *Request)
+	OnComplete(r *Request)
+}
+
+// Backend services commands on behalf of a virtual disk — in this
+// repository, the storage array model. Submit must eventually invoke done
+// exactly once (possibly synchronously).
+type Backend interface {
+	Submit(r *Request, done func(status scsi.Status, sense scsi.Sense))
+}
+
+// BackendFunc adapts a function to the Backend interface.
+type BackendFunc func(r *Request, done func(status scsi.Status, sense scsi.Sense))
+
+// Submit implements Backend.
+func (f BackendFunc) Submit(r *Request, done func(status scsi.Status, sense scsi.Sense)) {
+	f(r, done)
+}
+
+// ErrClosed is returned by Issue after Close.
+var ErrClosed = errors.New("vscsi: disk closed")
+
+// DiskConfig configures a virtual disk.
+type DiskConfig struct {
+	// VM and Name identify the disk, e.g. "oltp-vm" / "scsi0:1".
+	VM, Name string
+	// CapacitySectors is the disk size in 512-byte logical blocks.
+	CapacitySectors uint64
+	// MaxActive limits commands concurrently submitted to the backend;
+	// excess commands wait in a FIFO pending queue. Zero means unlimited.
+	MaxActive int
+}
+
+// Disk is a virtual SCSI disk. It is not safe for concurrent use: in this
+// system all I/O runs on the single-threaded simulation engine, exactly as
+// ESX serializes per-disk queue manipulation.
+type Disk struct {
+	cfg     DiskConfig
+	eng     *simclock.Engine
+	backend Backend
+
+	observers []Observer
+
+	nextID   uint64
+	inflight int // issued, not completed (includes pending)
+	active   int // submitted to the backend
+	pending  []*Request
+	closed   bool
+
+	issued    uint64
+	completed uint64
+	errored   uint64
+
+	// lastSense is the most recent non-GOOD completion's sense data,
+	// returned by REQUEST SENSE emulation.
+	lastSense scsi.Sense
+}
+
+// NewDisk creates a virtual disk served by backend on engine eng.
+func NewDisk(eng *simclock.Engine, backend Backend, cfg DiskConfig) *Disk {
+	if cfg.CapacitySectors == 0 {
+		panic("vscsi: disk capacity must be nonzero")
+	}
+	if backend == nil {
+		panic("vscsi: nil backend")
+	}
+	return &Disk{cfg: cfg, eng: eng, backend: backend}
+}
+
+// VM returns the owning VM's name.
+func (d *Disk) VM() string { return d.cfg.VM }
+
+// Name returns the virtual disk's name.
+func (d *Disk) Name() string { return d.cfg.Name }
+
+// CapacitySectors returns the disk size in logical blocks.
+func (d *Disk) CapacitySectors() uint64 { return d.cfg.CapacitySectors }
+
+// Inflight returns the number of issued-but-not-completed commands.
+func (d *Disk) Inflight() int { return d.inflight }
+
+// LastSense returns the most recent failed completion's sense data (zero
+// if no command has failed).
+func (d *Disk) LastSense() scsi.Sense { return d.lastSense }
+
+// Issued and Completed report lifetime command counts; Errored counts
+// completions with a status other than GOOD.
+func (d *Disk) Issued() uint64    { return d.issued }
+func (d *Disk) Completed() uint64 { return d.completed }
+func (d *Disk) Errored() uint64   { return d.errored }
+
+// AddObserver attaches an observer to the fast path.
+func (d *Disk) AddObserver(o Observer) {
+	d.observers = append(d.observers, o)
+}
+
+// RemoveObserver detaches a previously attached observer.
+func (d *Disk) RemoveObserver(o Observer) {
+	for i, cur := range d.observers {
+		if cur == o {
+			d.observers = append(d.observers[:i], d.observers[i+1:]...)
+			return
+		}
+	}
+}
+
+// Close fails subsequent Issues. In-flight commands complete normally.
+func (d *Disk) Close() { d.closed = true }
+
+// Issue submits a guest command. done, if non-nil, is invoked at completion
+// after observers have seen it. Issue returns the in-flight request.
+//
+// Commands that fail validation (e.g. out-of-range LBA) complete immediately
+// with CHECK CONDITION — they still traverse the observer path, since a real
+// vSCSI layer sees malformed guest commands too.
+func (d *Disk) Issue(cmd scsi.Command, done func(*Request)) (*Request, error) {
+	if d.closed {
+		return nil, ErrClosed
+	}
+	r := &Request{
+		ID:                 d.nextID,
+		VM:                 d.cfg.VM,
+		Disk:               d.cfg.Name,
+		Cmd:                cmd,
+		IssueTime:          d.eng.Now(),
+		OutstandingAtIssue: d.inflight,
+		done:               done,
+	}
+	d.nextID++
+	d.inflight++
+	d.issued++
+	for _, o := range d.observers {
+		o.OnIssue(r)
+	}
+
+	if cmd.Op.IsBlockIO() && cmd.LastLBA() >= d.cfg.CapacitySectors {
+		d.finish(r, scsi.StatusCheckCondition, scsi.SenseLBAOutOfRange)
+		return r, nil
+	}
+
+	if d.cfg.MaxActive > 0 && d.active >= d.cfg.MaxActive {
+		d.pending = append(d.pending, r)
+		return r, nil
+	}
+	d.submit(r)
+	return r, nil
+}
+
+// IssueCDB decodes a raw CDB and issues it. Undecodable CDBs complete with
+// CHECK CONDITION / INVALID COMMAND rather than returning an error, matching
+// device behaviour.
+func (d *Disk) IssueCDB(cdb []byte, done func(*Request)) (*Request, error) {
+	cmd, err := scsi.Decode(cdb)
+	if err != nil {
+		if d.closed {
+			return nil, ErrClosed
+		}
+		r := &Request{
+			ID:                 d.nextID,
+			VM:                 d.cfg.VM,
+			Disk:               d.cfg.Name,
+			Cmd:                scsi.Command{Op: scsi.OpCode(firstByte(cdb))},
+			IssueTime:          d.eng.Now(),
+			OutstandingAtIssue: d.inflight,
+			done:               done,
+		}
+		d.nextID++
+		d.inflight++
+		d.issued++
+		for _, o := range d.observers {
+			o.OnIssue(r)
+		}
+		d.finish(r, scsi.StatusCheckCondition, scsi.SenseInvalidOpcode)
+		return r, nil
+	}
+	return d.Issue(cmd, done)
+}
+
+func firstByte(b []byte) byte {
+	if len(b) == 0 {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *Disk) submit(r *Request) {
+	d.active++
+	r.SubmitTime = d.eng.Now()
+	completed := false
+	d.backend.Submit(r, func(status scsi.Status, sense scsi.Sense) {
+		if completed {
+			panic(fmt.Sprintf("vscsi: double completion of %s request %d", d.cfg.Name, r.ID))
+		}
+		completed = true
+		d.active--
+		if r.aborted {
+			// The guest already saw this command fail; drop the late
+			// backend completion.
+			d.drain()
+			return
+		}
+		d.finish(r, status, sense)
+		d.drain()
+	})
+}
+
+func (d *Disk) finish(r *Request, status scsi.Status, sense scsi.Sense) {
+	r.finished = true
+	r.CompleteTime = d.eng.Now()
+	r.Status = status
+	r.Sense = sense
+	d.inflight--
+	d.completed++
+	if status != scsi.StatusGood {
+		d.errored++
+		d.lastSense = sense
+	}
+	for _, o := range d.observers {
+		o.OnComplete(r)
+	}
+	if r.done != nil {
+		r.done(r)
+	}
+}
+
+// Abort cancels an in-flight command: the guest sees it complete
+// immediately with ABORTED COMMAND, observers included (a real vSCSI layer
+// surfaces guest aborts too, and they matter for characterization — an
+// abort storm is a workload signal). Returns false if the request already
+// completed. The backend's eventual completion is discarded.
+func (d *Disk) Abort(r *Request) bool {
+	if r.finished || r.aborted {
+		return false
+	}
+	r.aborted = true
+	// If still waiting in the pending FIFO, remove it there.
+	for i, p := range d.pending {
+		if p == r {
+			d.pending = append(d.pending[:i], d.pending[i+1:]...)
+			break
+		}
+	}
+	d.finish(r, scsi.StatusCheckCondition, scsi.Sense{
+		Key: scsi.SenseAbortedCommand,
+	})
+	return true
+}
+
+func (d *Disk) drain() {
+	for len(d.pending) > 0 && (d.cfg.MaxActive == 0 || d.active < d.cfg.MaxActive) {
+		r := d.pending[0]
+		d.pending = d.pending[1:]
+		d.submit(r)
+	}
+}

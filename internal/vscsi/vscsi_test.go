@@ -1,0 +1,331 @@
+package vscsi
+
+import (
+	"testing"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+)
+
+// delayBackend completes every command after a fixed virtual delay.
+type delayBackend struct {
+	eng   *simclock.Engine
+	delay simclock.Time
+}
+
+func (b *delayBackend) Submit(r *Request, done func(scsi.Status, scsi.Sense)) {
+	b.eng.After(b.delay, func(simclock.Time) { done(scsi.StatusGood, scsi.Sense{}) })
+}
+
+type recordingObserver struct {
+	issued, completed []*Request
+}
+
+func (o *recordingObserver) OnIssue(r *Request)    { o.issued = append(o.issued, r) }
+func (o *recordingObserver) OnComplete(r *Request) { o.completed = append(o.completed, r) }
+
+func newTestDisk(t *testing.T, delay simclock.Time, maxActive int) (*simclock.Engine, *Disk, *recordingObserver) {
+	t.Helper()
+	eng := simclock.NewEngine()
+	d := NewDisk(eng, &delayBackend{eng, delay}, DiskConfig{
+		VM: "vm1", Name: "scsi0:0", CapacitySectors: 1 << 20, MaxActive: maxActive,
+	})
+	obs := &recordingObserver{}
+	d.AddObserver(obs)
+	return eng, d, obs
+}
+
+func TestIssueCompleteLifecycle(t *testing.T) {
+	eng, d, obs := newTestDisk(t, 5*simclock.Millisecond, 0)
+	var got *Request
+	r, err := d.Issue(scsi.Read(100, 8), func(r *Request) { got = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inflight() != 1 {
+		t.Errorf("Inflight = %d, want 1", d.Inflight())
+	}
+	if r.OutstandingAtIssue != 0 {
+		t.Errorf("OutstandingAtIssue = %d, want 0", r.OutstandingAtIssue)
+	}
+	eng.Run()
+	if got == nil {
+		t.Fatal("completion callback never ran")
+	}
+	if got.Latency() != 5*simclock.Millisecond {
+		t.Errorf("Latency = %v", got.Latency())
+	}
+	if got.Status != scsi.StatusGood {
+		t.Errorf("Status = %v", got.Status)
+	}
+	if d.Inflight() != 0 || d.Issued() != 1 || d.Completed() != 1 || d.Errored() != 0 {
+		t.Errorf("counters: inflight=%d issued=%d completed=%d errored=%d",
+			d.Inflight(), d.Issued(), d.Completed(), d.Errored())
+	}
+	if len(obs.issued) != 1 || len(obs.completed) != 1 {
+		t.Errorf("observer saw %d/%d events", len(obs.issued), len(obs.completed))
+	}
+}
+
+func TestOutstandingAtIssueCountsOthers(t *testing.T) {
+	eng, d, _ := newTestDisk(t, simclock.Millisecond, 0)
+	var depths []int
+	for i := 0; i < 4; i++ {
+		r, err := d.Issue(scsi.Read(uint64(i*8), 8), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		depths = append(depths, r.OutstandingAtIssue)
+	}
+	eng.Run()
+	for i, want := range []int{0, 1, 2, 3} {
+		if depths[i] != want {
+			t.Errorf("depths = %v", depths)
+			break
+		}
+	}
+}
+
+func TestLBAOutOfRangeChecksCondition(t *testing.T) {
+	eng, d, obs := newTestDisk(t, simclock.Millisecond, 0)
+	var got *Request
+	_, err := d.Issue(scsi.Read(d.CapacitySectors(), 1), func(r *Request) { got = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got.Status != scsi.StatusCheckCondition || got.Sense != scsi.SenseLBAOutOfRange {
+		t.Errorf("got status=%v sense=%v", got.Status, got.Sense)
+	}
+	if d.Errored() != 1 {
+		t.Errorf("Errored = %d", d.Errored())
+	}
+	// Even a failed command must traverse the observer path.
+	if len(obs.issued) != 1 || len(obs.completed) != 1 {
+		t.Error("observer missed the failed command")
+	}
+}
+
+func TestLastSectorAccepted(t *testing.T) {
+	eng, d, _ := newTestDisk(t, simclock.Millisecond, 0)
+	var got *Request
+	d.Issue(scsi.Read(d.CapacitySectors()-8, 8), func(r *Request) { got = r })
+	eng.Run()
+	if got.Status != scsi.StatusGood {
+		t.Errorf("read of final extent failed: %v %v", got.Status, got.Sense)
+	}
+}
+
+func TestMaxActiveQueuesExcess(t *testing.T) {
+	eng, d, _ := newTestDisk(t, simclock.Millisecond, 2)
+	completions := make([]simclock.Time, 0, 4)
+	for i := 0; i < 4; i++ {
+		d.Issue(scsi.Read(uint64(i*8), 8), func(r *Request) {
+			completions = append(completions, r.CompleteTime)
+		})
+	}
+	if d.Inflight() != 4 {
+		t.Errorf("Inflight = %d, want 4 (pending count as outstanding)", d.Inflight())
+	}
+	eng.Run()
+	// First two complete at 1ms, the queued two at 2ms.
+	want := []simclock.Time{1, 1, 2, 2}
+	for i := range want {
+		if completions[i] != want[i]*simclock.Millisecond {
+			t.Fatalf("completions = %v", completions)
+		}
+	}
+	// SubmitTime of the queued requests must trail IssueTime.
+}
+
+func TestQueuedRequestSubmitTime(t *testing.T) {
+	eng, d, obs := newTestDisk(t, simclock.Millisecond, 1)
+	d.Issue(scsi.Read(0, 8), nil)
+	d.Issue(scsi.Read(8, 8), nil)
+	eng.Run()
+	second := obs.completed[1]
+	if second.IssueTime != 0 || second.SubmitTime != simclock.Millisecond {
+		t.Errorf("IssueTime=%v SubmitTime=%v", second.IssueTime, second.SubmitTime)
+	}
+	// Guest-observed latency includes queueing.
+	if second.Latency() != 2*simclock.Millisecond {
+		t.Errorf("Latency = %v, want 2ms", second.Latency())
+	}
+}
+
+func TestIssueCDBValid(t *testing.T) {
+	eng, d, _ := newTestDisk(t, simclock.Millisecond, 0)
+	cdb, _ := scsi.Encode(scsi.Write(64, 16))
+	var got *Request
+	if _, err := d.IssueCDB(cdb, func(r *Request) { got = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !got.Cmd.Op.IsWrite() || got.Cmd.LBA != 64 || got.Cmd.Blocks != 16 {
+		t.Errorf("decoded %+v", got.Cmd)
+	}
+}
+
+func TestIssueCDBInvalidOpcode(t *testing.T) {
+	eng, d, obs := newTestDisk(t, simclock.Millisecond, 0)
+	var got *Request
+	if _, err := d.IssueCDB([]byte{0xEE, 0, 0, 0, 0, 0}, func(r *Request) { got = r }); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if got.Status != scsi.StatusCheckCondition || got.Sense != scsi.SenseInvalidOpcode {
+		t.Errorf("status=%v sense=%v", got.Status, got.Sense)
+	}
+	if len(obs.completed) != 1 {
+		t.Error("observer missed invalid CDB")
+	}
+}
+
+func TestNonIOCommandsSkipRangeCheck(t *testing.T) {
+	eng, d, _ := newTestDisk(t, simclock.Millisecond, 0)
+	var got *Request
+	d.Issue(scsi.Command{Op: scsi.OpTestUnitReady}, func(r *Request) { got = r })
+	eng.Run()
+	if got.Status != scsi.StatusGood {
+		t.Errorf("TEST UNIT READY failed: %v", got.Status)
+	}
+}
+
+func TestCloseRejectsNewIO(t *testing.T) {
+	_, d, _ := newTestDisk(t, simclock.Millisecond, 0)
+	d.Close()
+	if _, err := d.Issue(scsi.Read(0, 1), nil); err != ErrClosed {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+	if _, err := d.IssueCDB([]byte{0xEE}, nil); err != ErrClosed {
+		t.Errorf("IssueCDB err = %v, want ErrClosed", err)
+	}
+}
+
+func TestRemoveObserver(t *testing.T) {
+	eng, d, obs := newTestDisk(t, simclock.Millisecond, 0)
+	d.RemoveObserver(obs)
+	d.Issue(scsi.Read(0, 8), nil)
+	eng.Run()
+	if len(obs.issued) != 0 {
+		t.Error("removed observer still notified")
+	}
+	d.RemoveObserver(obs) // removing twice is a no-op
+}
+
+func TestRequestIDsMonotonic(t *testing.T) {
+	eng, d, obs := newTestDisk(t, simclock.Millisecond, 0)
+	for i := 0; i < 5; i++ {
+		d.Issue(scsi.Read(uint64(i), 1), nil)
+	}
+	eng.Run()
+	for i, r := range obs.issued {
+		if r.ID != uint64(i) {
+			t.Fatalf("IDs not monotonic: %d at %d", r.ID, i)
+		}
+	}
+}
+
+func TestDoubleCompletionPanics(t *testing.T) {
+	eng := simclock.NewEngine()
+	var savedDone func(scsi.Status, scsi.Sense)
+	backend := BackendFunc(func(r *Request, done func(scsi.Status, scsi.Sense)) {
+		savedDone = done
+		done(scsi.StatusGood, scsi.Sense{})
+	})
+	d := NewDisk(eng, backend, DiskConfig{VM: "v", Name: "d", CapacitySectors: 100})
+	d.Issue(scsi.Read(0, 1), nil)
+	eng.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double completion should panic")
+		}
+	}()
+	savedDone(scsi.StatusGood, scsi.Sense{})
+}
+
+func TestNewDiskValidation(t *testing.T) {
+	eng := simclock.NewEngine()
+	for _, f := range []func(){
+		func() { NewDisk(eng, nil, DiskConfig{CapacitySectors: 1}) },
+		func() {
+			NewDisk(eng, BackendFunc(func(*Request, func(scsi.Status, scsi.Sense)) {}), DiskConfig{})
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkIssueComplete(b *testing.B) {
+	eng := simclock.NewEngine()
+	backend := BackendFunc(func(r *Request, done func(scsi.Status, scsi.Sense)) {
+		done(scsi.StatusGood, scsi.Sense{})
+	})
+	d := NewDisk(eng, backend, DiskConfig{VM: "v", Name: "d", CapacitySectors: 1 << 30})
+	cmd := scsi.Read(0, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cmd.LBA = uint64(i % (1 << 20))
+		if _, err := d.Issue(cmd, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestAbortInFlightCommand(t *testing.T) {
+	eng, d, obs := newTestDisk(t, 10*simclock.Millisecond, 0)
+	var got *Request
+	r, _ := d.Issue(scsi.Read(0, 8), func(req *Request) { got = req })
+	if !d.Abort(r) {
+		t.Fatal("abort refused")
+	}
+	if got == nil || got.Sense.Key != scsi.SenseAbortedCommand || !got.Aborted() {
+		t.Fatalf("aborted completion: %+v", got)
+	}
+	if d.Inflight() != 0 {
+		t.Errorf("Inflight = %d", d.Inflight())
+	}
+	// The backend's late completion must not double-complete.
+	eng.Run()
+	if len(obs.completed) != 1 {
+		t.Errorf("observer completions = %d, want 1", len(obs.completed))
+	}
+	if d.Abort(r) {
+		t.Error("double abort should report false")
+	}
+}
+
+func TestAbortPendingQueuedCommand(t *testing.T) {
+	eng, d, _ := newTestDisk(t, 10*simclock.Millisecond, 1)
+	d.Issue(scsi.Read(0, 8), nil) // occupies the single active slot
+	var got *Request
+	r, _ := d.Issue(scsi.Read(8, 8), func(req *Request) { got = req })
+	if !d.Abort(r) {
+		t.Fatal("abort of queued command refused")
+	}
+	if got == nil || got.Sense.Key != scsi.SenseAbortedCommand {
+		t.Fatalf("queued abort: %+v", got)
+	}
+	eng.Run()
+	// The first command must still complete normally and the queue drain
+	// must not resubmit the aborted request.
+	if d.Completed() != 2 || d.Errored() != 1 {
+		t.Errorf("completed=%d errored=%d", d.Completed(), d.Errored())
+	}
+}
+
+func TestAbortAfterCompletionRefused(t *testing.T) {
+	eng, d, _ := newTestDisk(t, simclock.Millisecond, 0)
+	r, _ := d.Issue(scsi.Read(0, 8), nil)
+	eng.Run()
+	if d.Abort(r) {
+		t.Error("abort after completion should report false")
+	}
+}

@@ -1,0 +1,375 @@
+package workload
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"vscsistats/internal/simclock"
+)
+
+// This file implements a parser for a Filebench-style model language
+// ("Filebench is a model based workload generator for file systems ... The
+// input to this program is a model file that specifies processes and threads
+// in a workflow", §4.1). The subset covers what the paper's workloads need:
+//
+//	define file name=datafile,size=10g
+//	define fileset name=docs,entries=500,filesize=128k
+//	define process name=shadow,instances=2 {
+//	  thread name=reader,instances=10 {
+//	    flowop read name=dbread,file=datafile,iosize=4k,random,dsync
+//	    flowop delay name=think,value=2ms
+//	  }
+//	}
+//	run 60
+//
+// Flowops: read, write, append, delay, sync. Flags: random (offset), dsync
+// (synchronous durability). Sizes accept k/m/g suffixes; delays accept
+// us/ms/s. A rate=N attribute throttles the flowop to N executions per
+// second per thread ("rate and throughput limits can be specified", §4.1).
+
+// Model is a parsed workload model.
+type Model struct {
+	Files      []FileDecl
+	Processes  []ProcessDecl
+	RunSeconds int // 0 means the scenario decides
+}
+
+// FileDecl declares a preallocated file, or — with Entries > 1 — a
+// Filebench fileset of identically sized files; flowops targeting a fileset
+// pick an entry at random per execution.
+type FileDecl struct {
+	Name    string
+	Size    int64 // per-entry size
+	Entries int
+}
+
+// ProcessDecl declares a process with thread groups.
+type ProcessDecl struct {
+	Name      string
+	Instances int
+	Threads   []ThreadDecl
+}
+
+// ThreadDecl declares a group of identical threads executing a flowop loop.
+type ThreadDecl struct {
+	Name      string
+	Instances int
+	Ops       []FlowOp
+}
+
+// FlowOp is one step of a thread's loop.
+type FlowOp struct {
+	Kind   string // read, write, append, delay, sync
+	Name   string
+	File   string
+	IOSize int64
+	Random bool
+	Dsync  bool
+	Delay  simclock.Time
+	// Rate caps this flowop at Rate executions/second per thread (0 =
+	// unthrottled).
+	Rate int
+	// Exponential makes a delay flowop sample from an exponential
+	// distribution with mean Delay instead of a fixed pause — Poisson
+	// think times, the standard open-system assumption.
+	Exponential bool
+}
+
+// ParseModel parses the model language. Errors carry the line number.
+func ParseModel(src string) (*Model, error) {
+	p := &modelParser{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		if err := p.line(strings.TrimSpace(line)); err != nil {
+			return nil, fmt.Errorf("model line %d: %w", lineNo+1, err)
+		}
+	}
+	if err := p.finish(); err != nil {
+		return nil, err
+	}
+	return &p.model, nil
+}
+
+// MustParseModel parses a model known at compile time.
+func MustParseModel(src string) *Model {
+	m, err := ParseModel(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+type modelParser struct {
+	model  Model
+	proc   *ProcessDecl
+	thread *ThreadDecl
+}
+
+func (p *modelParser) line(line string) error {
+	if line == "" {
+		return nil
+	}
+	// Closing braces may stand alone or trail a definition line.
+	for strings.HasSuffix(line, "}") {
+		defer func() { p.closeBlock() }()
+		line = strings.TrimSpace(strings.TrimSuffix(line, "}"))
+	}
+	if line == "" {
+		return nil
+	}
+	openBlock := strings.HasSuffix(line, "{")
+	if openBlock {
+		line = strings.TrimSpace(strings.TrimSuffix(line, "{"))
+	}
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	switch fields[0] {
+	case "define":
+		if len(fields) < 3 {
+			return fmt.Errorf("define needs a kind and attributes")
+		}
+		attrs, err := parseAttrs(fields[2])
+		if err != nil {
+			return err
+		}
+		switch fields[1] {
+		case "file":
+			size, err := attrs.size("size")
+			if err != nil {
+				return err
+			}
+			p.model.Files = append(p.model.Files, FileDecl{Name: attrs.str("name"), Size: size, Entries: 1})
+		case "fileset":
+			size, err := attrs.size("filesize")
+			if err != nil {
+				return err
+			}
+			p.model.Files = append(p.model.Files, FileDecl{
+				Name: attrs.str("name"), Size: size, Entries: attrs.count("entries")})
+		case "process":
+			if p.proc != nil {
+				return fmt.Errorf("nested process definitions are not allowed")
+			}
+			p.proc = &ProcessDecl{Name: attrs.str("name"), Instances: attrs.count("instances")}
+		default:
+			return fmt.Errorf("unknown define kind %q", fields[1])
+		}
+	case "thread":
+		if p.proc == nil {
+			return fmt.Errorf("thread outside a process block")
+		}
+		if p.thread != nil {
+			return fmt.Errorf("nested thread definitions are not allowed")
+		}
+		if len(fields) < 2 {
+			return fmt.Errorf("thread needs attributes")
+		}
+		attrs, err := parseAttrs(fields[1])
+		if err != nil {
+			return err
+		}
+		p.thread = &ThreadDecl{Name: attrs.str("name"), Instances: attrs.count("instances")}
+	case "flowop":
+		if p.thread == nil {
+			return fmt.Errorf("flowop outside a thread block")
+		}
+		if len(fields) < 2 {
+			return fmt.Errorf("flowop needs a kind")
+		}
+		op := FlowOp{Kind: fields[1]}
+		switch op.Kind {
+		case "read", "write", "append", "delay", "sync":
+		default:
+			return fmt.Errorf("unknown flowop kind %q", op.Kind)
+		}
+		if len(fields) >= 3 {
+			attrs, err := parseAttrs(fields[2])
+			if err != nil {
+				return err
+			}
+			op.Name = attrs.str("name")
+			op.File = attrs.str("file")
+			op.Random = attrs.flag("random")
+			op.Dsync = attrs.flag("dsync")
+			op.Exponential = attrs.flag("exponential")
+			if v, ok := attrs["iosize"]; ok {
+				size, err := parseSize(v)
+				if err != nil {
+					return err
+				}
+				op.IOSize = size
+			}
+			if v, ok := attrs["value"]; ok {
+				d, err := parseDuration(v)
+				if err != nil {
+					return err
+				}
+				op.Delay = d
+			}
+			if v, ok := attrs["rate"]; ok {
+				n, err := strconv.Atoi(v)
+				if err != nil || n <= 0 {
+					return fmt.Errorf("bad rate %q", v)
+				}
+				op.Rate = n
+			}
+		}
+		switch op.Kind {
+		case "read", "write", "append":
+			if op.File == "" || op.IOSize <= 0 {
+				return fmt.Errorf("flowop %s needs file= and iosize=", op.Kind)
+			}
+		case "delay":
+			if op.Delay <= 0 {
+				return fmt.Errorf("flowop delay needs value=")
+			}
+		}
+		p.thread.Ops = append(p.thread.Ops, op)
+	case "run":
+		if len(fields) < 2 {
+			return fmt.Errorf("run needs a duration in seconds")
+		}
+		secs, err := strconv.Atoi(fields[1])
+		if err != nil || secs <= 0 {
+			return fmt.Errorf("bad run duration %q", fields[1])
+		}
+		p.model.RunSeconds = secs
+	default:
+		return fmt.Errorf("unknown statement %q", fields[0])
+	}
+	_ = openBlock // braces are positional sugar; nesting is tracked by kind
+	return nil
+}
+
+func (p *modelParser) closeBlock() {
+	if p.thread != nil {
+		p.proc.Threads = append(p.proc.Threads, *p.thread)
+		p.thread = nil
+		return
+	}
+	if p.proc != nil {
+		p.model.Processes = append(p.model.Processes, *p.proc)
+		p.proc = nil
+	}
+}
+
+func (p *modelParser) finish() error {
+	if p.thread != nil || p.proc != nil {
+		return fmt.Errorf("model ends inside an unclosed block")
+	}
+	if len(p.model.Processes) == 0 {
+		return fmt.Errorf("model defines no processes")
+	}
+	return p.model.validate()
+}
+
+func (m *Model) validate() error {
+	files := make(map[string]bool, len(m.Files))
+	for _, f := range m.Files {
+		if f.Name == "" || f.Size <= 0 || f.Entries < 1 {
+			return fmt.Errorf("file %q needs a name, positive size and entries", f.Name)
+		}
+		if files[f.Name] {
+			return fmt.Errorf("duplicate file %q", f.Name)
+		}
+		files[f.Name] = true
+	}
+	for _, proc := range m.Processes {
+		for _, th := range proc.Threads {
+			for _, op := range th.Ops {
+				if op.File != "" && !files[op.File] {
+					return fmt.Errorf("flowop %s references undefined file %q", op.Kind, op.File)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// attrSet is a parsed name=value list; flags map to "".
+type attrSet map[string]string
+
+func parseAttrs(s string) (attrSet, error) {
+	attrs := make(attrSet)
+	for _, part := range strings.Split(s, ",") {
+		if part == "" {
+			continue
+		}
+		if k, v, ok := strings.Cut(part, "="); ok {
+			if k == "" || v == "" {
+				return nil, fmt.Errorf("malformed attribute %q", part)
+			}
+			attrs[k] = v
+		} else {
+			attrs[part] = "" // flag
+		}
+	}
+	return attrs, nil
+}
+
+func (a attrSet) str(k string) string { return a[k] }
+
+func (a attrSet) flag(k string) bool {
+	_, ok := a[k]
+	return ok
+}
+
+func (a attrSet) count(k string) int {
+	n, err := strconv.Atoi(a[k])
+	if err != nil || n < 1 {
+		return 1
+	}
+	return n
+}
+
+func (a attrSet) size(k string) (int64, error) {
+	v, ok := a[k]
+	if !ok {
+		return 0, fmt.Errorf("missing attribute %q", k)
+	}
+	return parseSize(v)
+}
+
+// parseSize parses "4k", "3m", "10g" or a plain byte count.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	lower := strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(lower, "k"):
+		mult, lower = 1<<10, lower[:len(lower)-1]
+	case strings.HasSuffix(lower, "m"):
+		mult, lower = 1<<20, lower[:len(lower)-1]
+	case strings.HasSuffix(lower, "g"):
+		mult, lower = 1<<30, lower[:len(lower)-1]
+	}
+	n, err := strconv.ParseInt(lower, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad size %q", s)
+	}
+	return n * mult, nil
+}
+
+// parseDuration parses "10us", "2ms", "1s".
+func parseDuration(s string) (simclock.Time, error) {
+	mult := simclock.Microsecond
+	lower := strings.ToLower(s)
+	switch {
+	case strings.HasSuffix(lower, "us"):
+		mult, lower = simclock.Microsecond, lower[:len(lower)-2]
+	case strings.HasSuffix(lower, "ms"):
+		mult, lower = simclock.Millisecond, lower[:len(lower)-2]
+	case strings.HasSuffix(lower, "s"):
+		mult, lower = simclock.Second, lower[:len(lower)-1]
+	}
+	n, err := strconv.ParseInt(lower, 10, 64)
+	if err != nil || n <= 0 {
+		return 0, fmt.Errorf("bad duration %q", s)
+	}
+	return simclock.Time(n) * mult, nil
+}

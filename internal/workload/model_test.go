@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"vscsistats/internal/simclock"
+)
+
+func TestParseModelOLTPShape(t *testing.T) {
+	m := OLTPModel(10<<30, 1<<30)
+	if len(m.Files) != 2 || m.Files[0].Name != "datafile" || m.Files[0].Size != 10<<30 {
+		t.Fatalf("files: %+v", m.Files)
+	}
+	if len(m.Processes) != 3 {
+		t.Fatalf("processes: %+v", m.Processes)
+	}
+	if m.RunSeconds != 120 {
+		t.Errorf("RunSeconds = %d", m.RunSeconds)
+	}
+	readers := m.Processes[0].Threads[0]
+	if readers.Instances != 20 || len(readers.Ops) != 2 {
+		t.Errorf("reader thread: %+v", readers)
+	}
+	if op := readers.Ops[0]; op.Kind != "read" || !op.Random || !op.Dsync || op.IOSize != 4096 {
+		t.Errorf("read op: %+v", op)
+	}
+	if op := readers.Ops[1]; op.Kind != "delay" || op.Delay != 10*simclock.Millisecond {
+		t.Errorf("delay op: %+v", op)
+	}
+	logger := m.Processes[2].Threads[0]
+	if logger.Ops[0].Kind != "append" || logger.Ops[0].File != "logfile" {
+		t.Errorf("logger op: %+v", logger.Ops[0])
+	}
+}
+
+func TestParseModelErrors(t *testing.T) {
+	cases := []struct {
+		src, wantErr string
+	}{
+		{"", "no processes"},
+		{"bogus statement", "unknown statement"},
+		{"define gizmo name=x", "unknown define kind"},
+		{"define file name=x", `missing attribute "size"`},
+		{"define file name=x,size=zork\ndefine process name=p {\n}", "bad size"},
+		{"define process name=p {", "unclosed block"},
+		{"flowop read name=x", "outside a thread"},
+		{"define process name=p {\nthread name=t {\nflowop juggle\n}\n}", "unknown flowop"},
+		{"define process name=p {\nthread name=t {\nflowop read name=x\n}\n}", "needs file="},
+		{"define process name=p {\nthread name=t {\nflowop delay name=x\n}\n}", "needs value="},
+		{"define process name=p {\nthread name=t {\nflowop read file=nope,iosize=4k\n}\n}", "undefined file"},
+		{"define file name=a,size=1k\ndefine file name=a,size=1k\ndefine process name=p {\n}", "duplicate file"},
+		{"run zero\ndefine process name=p {\n}", "bad run duration"},
+		{"thread name=t {", "outside a process"},
+		{"define file name=x,size=4k,=bad\ndefine process name=p {\n}", "malformed attribute"},
+	}
+	for _, c := range cases {
+		_, err := ParseModel(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+			t.Errorf("ParseModel(%q) err = %v, want containing %q", c.src, err, c.wantErr)
+		}
+	}
+}
+
+func TestParseModelLineNumbers(t *testing.T) {
+	_, err := ParseModel("define file name=a,size=1k\n\nbogus\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("err = %v, want line 3", err)
+	}
+}
+
+func TestParseModelComments(t *testing.T) {
+	m, err := ParseModel(`
+# a comment
+define file name=a,size=1k # trailing comment
+define process name=p,instances=2 {
+  thread name=t,instances=3 {
+    flowop write name=w,file=a,iosize=512,dsync
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Processes[0].Instances != 2 || m.Processes[0].Threads[0].Instances != 3 {
+		t.Errorf("instances: %+v", m.Processes[0])
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	cases := map[string]int64{
+		"512": 512, "4k": 4096, "4K": 4096, "3m": 3 << 20, "10g": 10 << 30,
+	}
+	for in, want := range cases {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "k", "-4k", "0", "4q"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseDuration(t *testing.T) {
+	cases := map[string]simclock.Time{
+		"10us": 10 * simclock.Microsecond,
+		"2ms":  2 * simclock.Millisecond,
+		"1s":   simclock.Second,
+		"5":    5 * simclock.Microsecond, // bare numbers are microseconds
+	}
+	for in, want := range cases {
+		got, err := parseDuration(in)
+		if err != nil || got != want {
+			t.Errorf("parseDuration(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseDuration("xs"); err == nil {
+		t.Error("parseDuration(xs) should fail")
+	}
+}
+
+func TestModelRoundTripInstancesDefault(t *testing.T) {
+	m, err := ParseModel(`
+define file name=a,size=1m
+define process name=p {
+  thread name=t {
+    flowop read name=r,file=a,iosize=4k,random
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Processes[0].Instances != 1 || m.Processes[0].Threads[0].Instances != 1 {
+		t.Error("missing instances should default to 1")
+	}
+}
+
+func TestWebServerModelShape(t *testing.T) {
+	m := WebServerModel(1 << 30)
+	if len(m.Files) != 2 || m.Files[1].Name != "weblog" {
+		t.Fatalf("files: %+v", m.Files)
+	}
+	ops := m.Processes[0].Threads[0].Ops
+	if len(ops) != 5 || ops[0].Kind != "read" || ops[3].Kind != "append" || !ops[3].Dsync {
+		t.Errorf("ops: %+v", ops)
+	}
+}
+
+func TestVarmailModelShape(t *testing.T) {
+	m := VarmailModel(256 << 20)
+	if len(m.Processes[0].Threads) != 2 {
+		t.Fatalf("threads: %+v", m.Processes[0].Threads)
+	}
+	deliver := m.Processes[0].Threads[0]
+	if deliver.Ops[1].Kind != "sync" {
+		t.Errorf("varmail must fsync: %+v", deliver.Ops)
+	}
+}
+
+func TestFlowOpRateAttribute(t *testing.T) {
+	m, err := ParseModel(`
+define file name=a,size=1m
+define process name=p {
+  thread name=t {
+    flowop read name=r,file=a,iosize=4k,random,rate=100
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Processes[0].Threads[0].Ops[0].Rate != 100 {
+		t.Errorf("rate: %+v", m.Processes[0].Threads[0].Ops[0])
+	}
+	if _, err := ParseModel(`
+define file name=a,size=1m
+define process name=p {
+  thread name=t {
+    flowop read name=r,file=a,iosize=4k,rate=zero
+  }
+}
+`); err == nil {
+		t.Error("bad rate should fail")
+	}
+}
+
+func TestFilesetDeclaration(t *testing.T) {
+	m, err := ParseModel(`
+define fileset name=docs,entries=50,filesize=64k
+define process name=p {
+  thread name=t {
+    flowop read name=r,file=docs,iosize=16k,random
+  }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Files[0].Entries != 50 || m.Files[0].Size != 64<<10 {
+		t.Errorf("fileset decl: %+v", m.Files[0])
+	}
+	if _, err := ParseModel("define fileset name=x,entries=3\ndefine process name=p {\n}"); err == nil {
+		t.Error("fileset without filesize should fail")
+	}
+}
+
+func TestExponentialDelayFlag(t *testing.T) {
+	m := MustParseModel(`
+define file name=a,size=1m
+define process name=p {
+  thread name=t {
+    flowop read name=r,file=a,iosize=4k,random
+    flowop delay name=d,value=10ms,exponential
+  }
+}
+`)
+	if !m.Processes[0].Threads[0].Ops[1].Exponential {
+		t.Error("exponential flag not parsed")
+	}
+}

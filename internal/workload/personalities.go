@@ -1,0 +1,56 @@
+package workload
+
+import "fmt"
+
+// Additional Filebench personalities beyond OLTP — the model language makes
+// new workloads a matter of writing a model file, which is Filebench's
+// whole point ("several model files are included with the Filebench
+// distribution", §4.1). Like OLTPModel, thread counts are scaled for
+// simulation while preserving each personality's characteristic mix.
+
+// WebServerModel emulates the webserver.f personality: many threads
+// reading whole files from a document fileset (random file per request,
+// sequential within the file) plus a shared access log taking small
+// synchronous appends.
+func WebServerModel(docSetBytes int64) *Model {
+	entries := int64(200)
+	src := fmt.Sprintf(`
+# Filebench webserver personality (scaled)
+define fileset name=docset,entries=%d,filesize=%d
+define file name=weblog,size=%d
+define process name=httpd,instances=1 {
+  thread name=worker,instances=25 {
+    flowop read name=readdoc1,file=docset,iosize=16k,random
+    flowop read name=readdoc2,file=docset,iosize=16k
+    flowop read name=readdoc3,file=docset,iosize=16k
+    flowop append name=weblogwrite,file=weblog,iosize=8k,dsync
+    flowop delay name=keepalive,value=5ms
+  }
+}
+run 60
+`, entries, docSetBytes/entries, docSetBytes/20)
+	return MustParseModel(src)
+}
+
+// VarmailModel emulates the varmail.f personality (a mail spool): small
+// whole-file reads and many small synchronous appends with frequent syncs —
+// the classic fsync-heavy metadata workload.
+func VarmailModel(spoolBytes int64) *Model {
+	src := fmt.Sprintf(`
+# Filebench varmail personality (scaled)
+define file name=spool,size=%d
+define process name=mail,instances=1 {
+  thread name=deliver,instances=8 {
+    flowop append name=newmail,file=spool,iosize=8k,dsync
+    flowop sync name=fsync1
+    flowop delay name=think1,value=4ms
+  }
+  thread name=reader,instances=8 {
+    flowop read name=readmail,file=spool,iosize=8k,random
+    flowop delay name=think2,value=4ms
+  }
+}
+run 60
+`, spoolBytes)
+	return MustParseModel(src)
+}

@@ -1,0 +1,66 @@
+// Package workload implements the I/O load generators behind the paper's
+// evaluation: a Filebench-style model language with the OLTP personality
+// (§4.1), a DBT-2/TPC-C database engine model over a buffer pool and WAL
+// (§4.2), the Windows large-file-copy pipelines (§4.3), and an
+// Iometer-style synthetic generator (§5).
+//
+// Generators are deterministic state machines driven by the simulation
+// engine: each outstanding operation's completion schedules the next, so a
+// given seed reproduces the same I/O stream exactly.
+package workload
+
+import (
+	"fmt"
+
+	"vscsistats/internal/simclock"
+)
+
+// Generator is a runnable workload.
+type Generator interface {
+	// Name identifies the workload for reports.
+	Name() string
+	// Start begins issuing I/O; Stop ceases issuing new operations
+	// (in-flight operations complete normally).
+	Start()
+	Stop()
+	// Stats reports progress so far.
+	Stats() Stats
+}
+
+// Stats summarizes a generator's completed work.
+type Stats struct {
+	Ops          int64
+	Bytes        int64
+	Errors       int64
+	TotalLatency simclock.Time // sum over completed ops
+}
+
+// MeanLatency returns the average operation latency.
+func (s Stats) MeanLatency() simclock.Time {
+	if s.Ops == 0 {
+		return 0
+	}
+	return s.TotalLatency / simclock.Time(s.Ops)
+}
+
+// Rate returns operations per second over the given elapsed virtual time.
+func (s Stats) Rate(elapsed simclock.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Ops) / elapsed.Seconds()
+}
+
+// Throughput returns bytes per second over the elapsed virtual time.
+func (s Stats) Throughput(elapsed simclock.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Bytes) / elapsed.Seconds()
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d ops, %d bytes, %d errors, mean latency %v",
+		s.Ops, s.Bytes, s.Errors, s.MeanLatency())
+}

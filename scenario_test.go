@@ -1,0 +1,80 @@
+package vscsistats_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"vscsistats"
+)
+
+// TestScenarioInvariants runs every catalog scenario briefly and checks the
+// cross-module invariants that must hold regardless of workload: histogram
+// mass conservation, counter consistency, error-free operation, and JSON
+// round-tripping of the snapshot.
+func TestScenarioInvariants(t *testing.T) {
+	for _, name := range vscsistats.Scenarios() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			sc, err := vscsistats.NewScenario(name, vscsistats.ScenarioConfig{
+				Seed: 7, DataBytes: 256 << 20,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := sc.Run(8 * vscsistats.Second)
+			if s.Commands == 0 {
+				t.Fatal("scenario generated no block I/O")
+			}
+			if s.Errors != 0 {
+				t.Errorf("errors: %d", s.Errors)
+			}
+			if s.NumReads+s.NumWrites != s.Commands {
+				t.Errorf("reads %d + writes %d != commands %d", s.NumReads, s.NumWrites, s.Commands)
+			}
+			// Arrival-side histograms hold exactly one sample per command.
+			for _, m := range []vscsistats.Metric{vscsistats.MetricIOLength, vscsistats.MetricOutstanding} {
+				if got := s.Histogram(m, vscsistats.All).Total; got != s.Commands {
+					t.Errorf("%s total %d != commands %d", m, got, s.Commands)
+				}
+			}
+			// Class histograms partition the all-class histogram.
+			all := s.Histogram(vscsistats.MetricIOLength, vscsistats.All)
+			reads := s.Histogram(vscsistats.MetricIOLength, vscsistats.Reads)
+			writes := s.Histogram(vscsistats.MetricIOLength, vscsistats.Writes)
+			for i := range all.Counts {
+				if all.Counts[i] != reads.Counts[i]+writes.Counts[i] {
+					t.Errorf("bin %d not partitioned: %d != %d+%d",
+						i, all.Counts[i], reads.Counts[i], writes.Counts[i])
+					break
+				}
+			}
+			// Seek distance has one sample per command after the first.
+			if got := s.Histogram(vscsistats.MetricSeekDistance, vscsistats.All).Total; got != s.Commands-1 {
+				t.Errorf("seek total %d != commands-1 %d", got, s.Commands-1)
+			}
+			// Snapshot JSON round-trips.
+			raw, err := json.Marshal(s)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var back vscsistats.Snapshot
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if back.Commands != s.Commands {
+				t.Errorf("round trip lost commands: %d != %d", back.Commands, s.Commands)
+			}
+			// Tracer captured the same commands the collector counted
+			// (the tracer sees completions; in-flight tails may differ by
+			// the still-outstanding window).
+			recs := sc.VD.Tracer.Records()
+			if int64(len(recs)) == 0 {
+				t.Error("tracer empty")
+			}
+			// Generator made progress and agrees something happened.
+			if sc.Gen.Stats().Ops == 0 {
+				t.Error("generator reports no ops")
+			}
+		})
+	}
+}
