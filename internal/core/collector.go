@@ -5,9 +5,17 @@
 // disentangles interleaved sequential streams), outstanding I/Os, device
 // latency and inter-arrival time — each broken down by all/reads/writes,
 // in O(1) time and O(m) space per command (§3).
+//
+// Every Collector method is safe for concurrent use: OnIssue/OnComplete may
+// run from several issuing goroutines while other goroutines call Snapshot,
+// Enable, Disable and Reset. Histogram inserts and counters are lock-free
+// atomics; only the stream-correlated state (previous command's end block,
+// the windowed-seek ring, previous arrival time) takes a short per-collector
+// mutex, so the fast path stays O(1) with one uncontended lock per command.
 package core
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"vscsistats/internal/histogram"
@@ -31,7 +39,11 @@ type Collector struct {
 	vm, disk string
 	window   int
 	enabled  atomic.Bool
-	h        *histSet
+	// h is the live histogram set. It is swapped atomically by Enable
+	// (nil -> fresh) and Reset (old -> fresh), so an OnIssue or Snapshot
+	// that loaded the pointer keeps working against a consistent set even
+	// if a Reset lands mid-command.
+	h atomic.Pointer[histSet]
 }
 
 // histSet is the dynamically allocated state, created on first Enable.
@@ -43,6 +55,11 @@ type histSet struct {
 	latency      [3]*histogram.Histogram
 	interarrival [3]*histogram.Histogram
 
+	// streamMu guards the stream-correlated fields below (and only those):
+	// they relate consecutive commands, so two issuing goroutines must
+	// observe each other's updates in a consistent order. Histogram inserts
+	// and the counters stay lock-free.
+	streamMu sync.Mutex
 	// lastEnd is the last logical block of the previous I/O (§3.1: "an
 	// unsigned 64-bit memory location per virtual disk").
 	lastEnd  uint64
@@ -99,10 +116,13 @@ func (c *Collector) Window() int { return c.window }
 func (c *Collector) Enabled() bool { return c.enabled.Load() }
 
 // Enable turns the service on, allocating histograms on first use.
-// Histograms persist across Disable/Enable cycles until Reset.
+// Histograms persist across Disable/Enable cycles until Reset. Enable is
+// idempotent under concurrent calls: when two goroutines race on the first
+// allocation, exactly one histSet wins and the loser's is discarded, so no
+// accumulated data is ever dropped by a duplicate Enable.
 func (c *Collector) Enable() {
-	if c.h == nil {
-		c.h = newHistSet(c.window)
+	if c.h.Load() == nil {
+		c.h.CompareAndSwap(nil, newHistSet(c.window))
 	}
 	c.enabled.Store(true)
 }
@@ -110,10 +130,19 @@ func (c *Collector) Enable() {
 // Disable stops recording without discarding accumulated data.
 func (c *Collector) Disable() { c.enabled.Store(false) }
 
-// Reset discards all accumulated data and per-stream state.
+// Reset discards all accumulated data and per-stream state. The swap is
+// atomic: in-flight OnIssue/OnComplete calls that already loaded the old set
+// finish against it (their samples vanish with it), and snapshot readers see
+// either the complete old set or the fresh one — never a half-built set.
 func (c *Collector) Reset() {
-	if c.h != nil {
-		c.h = newHistSet(c.window)
+	for {
+		old := c.h.Load()
+		if old == nil {
+			return
+		}
+		if c.h.CompareAndSwap(old, newHistSet(c.window)) {
+			return
+		}
 	}
 }
 
@@ -143,7 +172,10 @@ func (c *Collector) OnIssue(r *vscsi.Request) {
 	if !cmd.Op.IsBlockIO() {
 		return
 	}
-	h := c.h
+	h := c.h.Load()
+	if h == nil {
+		return
+	}
 	class := classRead
 	if cmd.Op.IsWrite() {
 		class = classWrite
@@ -166,25 +198,24 @@ func (c *Collector) OnIssue(r *vscsi.Request) {
 	h.outstanding[classAll].Insert(oio)
 	h.outstanding[class].Insert(oio)
 
+	// The stream-correlated metrics relate this command to its predecessors,
+	// so their state updates form one critical section; the derived samples
+	// are inserted after release to keep it short.
+	h.streamMu.Lock()
 	// Seek distance: first block of this I/O minus last block of the
 	// previous I/O, preserved signed to expose reverse scans (§3.1).
-	if h.haveLast {
-		d := int64(cmd.LBA) - int64(h.lastEnd)
-		h.seekDistance[classAll].Insert(d)
-		h.seekDistance[class].Insert(d)
+	seek, haveSeek := int64(0), h.haveLast
+	if haveSeek {
+		seek = int64(cmd.LBA) - int64(h.lastEnd)
 	}
 	// Windowed variant: minimum-magnitude distance to any of the last N
 	// I/Os, sign preserved (§3.1).
-	if h.recentLen > 0 {
-		var best int64
-		have := false
-		for i := 0; i < h.recentLen; i++ {
-			d := int64(cmd.LBA) - int64(h.recent[i])
-			if !have || abs64(d) < abs64(best) {
-				best, have = d, true
-			}
+	wseek, haveWseek := int64(0), h.recentLen > 0
+	for i := 0; i < h.recentLen; i++ {
+		d := int64(cmd.LBA) - int64(h.recent[i])
+		if i == 0 || abs64(d) < abs64(wseek) {
+			wseek = d
 		}
-		h.seekWindowed.Insert(best)
 	}
 	h.lastEnd = cmd.LastLBA()
 	h.haveLast = true
@@ -193,14 +224,26 @@ func (c *Collector) OnIssue(r *vscsi.Request) {
 	if h.recentLen < len(h.recent) {
 		h.recentLen++
 	}
-
 	// Inter-arrival time in microseconds (§3.2).
-	if h.haveArrival {
-		h.interarrival[classAll].Insert((r.IssueTime - h.lastArrival).Micros())
-		h.interarrival[class].Insert((r.IssueTime - h.lastArrival).Micros())
+	inter, haveInter := int64(0), h.haveArrival
+	if haveInter {
+		inter = (r.IssueTime - h.lastArrival).Micros()
 	}
 	h.lastArrival = r.IssueTime
 	h.haveArrival = true
+	h.streamMu.Unlock()
+
+	if haveSeek {
+		h.seekDistance[classAll].Insert(seek)
+		h.seekDistance[class].Insert(seek)
+	}
+	if haveWseek {
+		h.seekWindowed.Insert(wseek)
+	}
+	if haveInter {
+		h.interarrival[classAll].Insert(inter)
+		h.interarrival[class].Insert(inter)
+	}
 }
 
 // OnComplete records device latency (§3.5) and error counts.
@@ -211,7 +254,10 @@ func (c *Collector) OnComplete(r *vscsi.Request) {
 	if !r.Cmd.Op.IsBlockIO() {
 		return
 	}
-	h := c.h
+	h := c.h.Load()
+	if h == nil {
+		return
+	}
 	if r.Status != scsi.StatusGood {
 		h.errors.Add(1)
 		return

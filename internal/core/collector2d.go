@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"vscsistats/internal/histogram"
 	"vscsistats/internal/scsi"
 	"vscsistats/internal/vscsi"
@@ -17,11 +19,15 @@ import (
 // the grid costs ~18x11 cells per disk and one extra map lookup per
 // completion — cheap, but not free, and the paper's default service stays
 // 1-D.
+//
+// Like Collector, it is safe for concurrent use; the in-flight seek map and
+// stream state are guarded by a mutex (the map rules out a lock-free path).
 type Collector2D struct {
 	vm, disk string
+
+	mu       sync.Mutex
 	enabled  bool
 	grid     *histogram.Hist2D
-
 	lastEnd  uint64
 	haveLast bool
 	// seekOf remembers each in-flight command's arrival-time seek distance
@@ -36,6 +42,8 @@ func NewCollector2D(vm, disk string) *Collector2D {
 
 // Enable starts recording, allocating the grid on first use.
 func (c *Collector2D) Enable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.grid == nil {
 		c.grid = histogram.New2D("Seek Distance vs Latency",
 			"seek (sectors)", histogram.SeekDistanceEdges(),
@@ -46,16 +54,29 @@ func (c *Collector2D) Enable() {
 }
 
 // Disable stops recording; accumulated data is retained.
-func (c *Collector2D) Disable() { c.enabled = false }
+func (c *Collector2D) Disable() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.enabled = false
+}
 
 // Enabled reports the recording state.
-func (c *Collector2D) Enabled() bool { return c.enabled }
+func (c *Collector2D) Enabled() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.enabled
+}
 
 var _ vscsi.Observer = (*Collector2D)(nil)
 
 // OnIssue records the arrival-side seek distance keyed by request ID.
 func (c *Collector2D) OnIssue(r *vscsi.Request) {
-	if !c.enabled || !r.Cmd.Op.IsBlockIO() {
+	if !r.Cmd.Op.IsBlockIO() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.enabled {
 		return
 	}
 	if c.haveLast {
@@ -67,7 +88,12 @@ func (c *Collector2D) OnIssue(r *vscsi.Request) {
 
 // OnComplete joins the stored seek distance with the observed latency.
 func (c *Collector2D) OnComplete(r *vscsi.Request) {
-	if c.grid == nil || !r.Cmd.Op.IsBlockIO() {
+	if !r.Cmd.Op.IsBlockIO() {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.grid == nil {
 		return
 	}
 	seek, ok := c.seekOf[r.ID]
@@ -81,10 +107,15 @@ func (c *Collector2D) OnComplete(r *vscsi.Request) {
 	c.grid.Insert(seek, r.Latency().Micros())
 }
 
-// Snapshot copies the grid; nil if never enabled.
+// Snapshot copies the grid; nil if never enabled. The grid pointer never
+// changes once allocated, and its cells are atomics, so the copy may be
+// taken outside the lock.
 func (c *Collector2D) Snapshot() *histogram.Snapshot2D {
-	if c.grid == nil {
+	c.mu.Lock()
+	grid := c.grid
+	c.mu.Unlock()
+	if grid == nil {
 		return nil
 	}
-	return c.grid.Snapshot()
+	return grid.Snapshot()
 }

@@ -1,0 +1,241 @@
+package core
+
+// Lifecycle and fast-path concurrency tests. Run with -race: on the
+// pre-fix code every one of these produced a data-race report (plain c.h
+// pointer swaps in Enable/Reset, unsynchronized per-stream fields in
+// OnIssue).
+
+import (
+	"sync"
+	"testing"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+func issueReq(id int, lba uint64, at simclock.Time) *vscsi.Request {
+	return &vscsi.Request{
+		ID:        uint64(id),
+		Cmd:       scsi.Read(lba, 8),
+		IssueTime: at,
+	}
+}
+
+func completeReq(r *vscsi.Request, lat simclock.Time) *vscsi.Request {
+	r.CompleteTime = r.IssueTime + lat
+	r.Status = scsi.StatusGood
+	return r
+}
+
+// TestCollectorConcurrentStress hammers one collector from N issuing
+// goroutines while one goroutine polls snapshots and another toggles
+// enable/disable/reset — the mix the acceptance criteria name.
+func TestCollectorConcurrentStress(t *testing.T) {
+	const (
+		issuers = 8
+		perG    = 2000
+	)
+	c := NewCollector("vm", "disk")
+	c.Enable()
+
+	var issuerWG, monitorWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for g := 0; g < issuers; g++ {
+		issuerWG.Add(1)
+		go func(g int) {
+			defer issuerWG.Done()
+			for i := 0; i < perG; i++ {
+				r := issueReq(g*perG+i, uint64((g*perG+i)*977%(1<<20)), simclock.Time(i)*simclock.Microsecond)
+				c.OnIssue(r)
+				c.OnComplete(completeReq(r, 500*simclock.Microsecond))
+			}
+		}(g)
+	}
+
+	monitorWG.Add(1)
+	go func() { // snapshot poller
+		defer monitorWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if s := c.Snapshot(); s != nil && s.Commands < 0 {
+				t.Error("torn snapshot: negative command count")
+				return
+			}
+		}
+	}()
+	monitorWG.Add(1)
+	go func() { // lifecycle toggler
+		defer monitorWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 4 {
+			case 0:
+				c.Disable()
+			case 1:
+				c.Enable()
+			case 2:
+				c.Reset()
+			default:
+				c.Enable()
+			}
+		}
+	}()
+
+	issuerWG.Wait()
+	close(stop)
+	monitorWG.Wait()
+
+	c.Enable()
+	s := c.Snapshot()
+	if s == nil {
+		t.Fatal("enabled collector returned nil snapshot")
+	}
+	if s.Commands < 0 || s.Commands > issuers*perG {
+		t.Errorf("command count %d outside [0, %d]", s.Commands, issuers*perG)
+	}
+	// Whatever survived the resets must be internally consistent.
+	if s.Commands != s.NumReads+s.NumWrites {
+		t.Errorf("commands=%d != reads+writes=%d", s.Commands, s.NumReads+s.NumWrites)
+	}
+}
+
+// TestEnableConcurrentIdempotent is the regression test for the
+// check-then-act race in Enable: when many goroutines race the first
+// Enable, exactly one histSet may win, and later Enables must never
+// replace it (that would silently drop accumulated samples).
+func TestEnableConcurrentIdempotent(t *testing.T) {
+	for trial := 0; trial < 50; trial++ {
+		c := NewCollector("vm", "disk")
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 16; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				c.Enable()
+			}()
+		}
+		close(start)
+		wg.Wait()
+
+		won := c.h.Load()
+		if won == nil {
+			t.Fatal("no histSet after concurrent Enable")
+		}
+		r := issueReq(1, 0, 0)
+		c.OnIssue(r)
+		c.Enable() // must not reallocate
+		if c.h.Load() != won {
+			t.Fatal("redundant Enable replaced the live histSet")
+		}
+		if s := c.Snapshot(); s.Commands != 1 {
+			t.Fatalf("sample lost across redundant Enable: commands=%d", s.Commands)
+		}
+	}
+}
+
+// TestResetSwapsAtomically is the regression test for Reset replacing the
+// histogram set mid-command: a snapshot taken at any moment sees either
+// the old set or the fresh one, and after the dust settles a Reset leaves
+// exactly the samples issued after it.
+func TestResetSwapsAtomically(t *testing.T) {
+	c := NewCollector("vm", "disk")
+	c.Enable()
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // issuer
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			r := issueReq(i, uint64(i*8%(1<<20)), simclock.Time(i)*simclock.Microsecond)
+			c.OnIssue(r)
+			c.OnComplete(completeReq(r, simclock.Millisecond))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		c.Reset()
+		if s := c.Snapshot(); s == nil {
+			t.Error("Reset made an enabled collector's snapshot nil")
+			break
+		}
+	}
+	close(done)
+	wg.Wait()
+
+	// Deterministic tail: with no concurrent writers, Reset leaves a
+	// completely clean slate (stream state included).
+	c.Reset()
+	r := issueReq(1, 4096, simclock.Second)
+	c.OnIssue(r)
+	s := c.Snapshot()
+	if s.Commands != 1 {
+		t.Errorf("post-reset commands = %d, want 1", s.Commands)
+	}
+	// First command after reset: no predecessor, so no seek or
+	// inter-arrival samples may leak from before the reset.
+	if tot := s.SeekDistance[All].Total; tot != 0 {
+		t.Errorf("seek histogram kept %d samples across Reset", tot)
+	}
+	if tot := s.Interarrival[All].Total; tot != 0 {
+		t.Errorf("interarrival histogram kept %d samples across Reset", tot)
+	}
+}
+
+// TestResetNeverEnabled stays a no-op.
+func TestResetNeverEnabled(t *testing.T) {
+	c := NewCollector("vm", "disk")
+	c.Reset()
+	if s := c.Snapshot(); s != nil {
+		t.Fatalf("Reset allocated state for a never-enabled collector: %+v", s)
+	}
+}
+
+// TestCollector2DConcurrent drives the opt-in 2-D collector from several
+// goroutines with interleaved toggles; its in-flight map made the seed
+// version racy even between OnIssue and OnComplete.
+func TestCollector2DConcurrent(t *testing.T) {
+	c := NewCollector2D("vm", "disk")
+	c.Enable()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				r := issueReq(g*2000+i, uint64(i*16%(1<<20)), simclock.Time(i)*simclock.Microsecond)
+				c.OnIssue(r)
+				c.OnComplete(completeReq(r, simclock.Millisecond))
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			c.Snapshot()
+			c.Disable()
+			c.Enable()
+		}
+	}()
+	wg.Wait()
+	if s := c.Snapshot(); s == nil {
+		t.Fatal("enabled 2-D collector returned nil snapshot")
+	}
+}

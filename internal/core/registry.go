@@ -10,8 +10,13 @@ import (
 // the paper's command-line utility ("we've added a command line utility to
 // enable and disable these stats"): collectors are addressed by VM and disk
 // name, and can be toggled individually or en masse.
+//
+// A Registry is safe for concurrent use: lookups and listings take a read
+// lock, so any number of monitoring goroutines (e.g. httpstats handlers)
+// can poll while simulations register, unregister and toggle collectors.
+// Several hosts may share one registry (see hypervisor.NewHostOn).
 type Registry struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	collectors map[string]*Collector
 }
 
@@ -44,15 +49,15 @@ func (r *Registry) Unregister(vm, disk string) {
 
 // Lookup returns the collector for (vm, disk), or nil.
 func (r *Registry) Lookup(vm, disk string) *Collector {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	return r.collectors[key(vm, disk)]
 }
 
 // List returns all registered collectors sorted by VM then disk name.
 func (r *Registry) List() []*Collector {
-	r.mu.Lock()
-	defer r.mu.Unlock()
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]*Collector, 0, len(r.collectors))
 	for _, c := range r.collectors {
 		out = append(out, c)

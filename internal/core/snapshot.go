@@ -70,8 +70,14 @@ type Snapshot struct {
 
 // Snapshot copies the collector's current state. It returns nil if the
 // service has never been enabled (no data structures exist).
+//
+// Snapshot is safe to call while other goroutines issue commands or Reset
+// the collector: the histogram set pointer is loaded once, so the copy is
+// taken from one consistent set. Concurrent inserts may straddle the copy
+// (per-histogram tearing the paper deems acceptable for monitoring), but a
+// half-built or discarded set is never observed.
 func (c *Collector) Snapshot() *Snapshot {
-	h := c.h
+	h := c.h.Load()
 	if h == nil {
 		return nil
 	}

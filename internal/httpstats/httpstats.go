@@ -12,19 +12,26 @@
 //	POST /disks/{vm}/{disk}/enable       turn the service on
 //	POST /disks/{vm}/{disk}/disable      turn it off (data retained)
 //	POST /disks/{vm}/{disk}/reset        discard accumulated data
+//
+// Path segments are URL-decoded, so VM and disk names containing spaces or
+// reserved characters (%20, %2F, …) address correctly; malformed escapes
+// get 400.
 package httpstats
 
 import (
 	"encoding/json"
 	"net/http"
+	"net/url"
 	"strings"
 
 	"vscsistats/internal/core"
 )
 
-// Handler serves a registry. The simulation itself is single-threaded; the
-// collectors' histograms are safe for concurrent reads, so serving while a
-// simulation runs on another goroutine is safe for monitoring purposes.
+// Handler serves a registry. Registry, Collector and histogram operations
+// are all safe for concurrent use, so any number of handler goroutines can
+// list disks, read snapshots and toggle or reset collection while one or
+// more simulation goroutines (e.g. the parallel multi-VM driver's worlds)
+// issue commands through the observed disks.
 type Handler struct {
 	reg *core.Registry
 }
@@ -42,7 +49,11 @@ type diskInfo struct {
 
 // ServeHTTP implements http.Handler.
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	parts := splitPath(r.URL.Path)
+	parts, err := splitPath(r.URL.EscapedPath())
+	if err != nil {
+		http.Error(w, "bad path escape", http.StatusBadRequest)
+		return
+	}
 	if len(parts) == 0 || parts[0] != "disks" {
 		http.NotFound(w, r)
 		return
@@ -59,14 +70,23 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func splitPath(p string) []string {
+// splitPath splits the still-escaped request path on "/" and URL-decodes
+// each segment afterwards, so a VM or disk name containing an encoded
+// slash (%2F) or space stays one segment instead of 404ing. Bad escapes
+// return an error (mapped to 400 above).
+func splitPath(p string) ([]string, error) {
 	var out []string
 	for _, s := range strings.Split(p, "/") {
-		if s != "" {
-			out = append(out, s)
+		if s == "" {
+			continue
 		}
+		dec, err := url.PathUnescape(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dec)
 	}
-	return out
+	return out, nil
 }
 
 func (h *Handler) list(w http.ResponseWriter, r *http.Request) {

@@ -1,10 +1,14 @@
 package httpstats
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"vscsistats/internal/core"
@@ -163,5 +167,129 @@ func TestRouteErrors(t *testing.T) {
 		if resp.StatusCode != c.want {
 			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
 		}
+	}
+}
+
+// TestEscapedPathSegments covers VM/disk names that need URL encoding: a
+// space (%20) and an embedded slash (%2F) must address the collector
+// instead of 404ing.
+func TestEscapedPathSegments(t *testing.T) {
+	reg := core.NewRegistry()
+	col := core.NewCollector("my vm", "scsi0/0")
+	reg.Register(col)
+	srv := httptest.NewServer(New(reg))
+	t.Cleanup(srv.Close)
+
+	if code := post(t, srv.URL+"/disks/my%20vm/scsi0%2F0/enable"); code != 200 {
+		t.Fatalf("enable via escaped path: %d", code)
+	}
+	if !col.Enabled() {
+		t.Fatal("escaped path did not reach the collector")
+	}
+	code, body := get(t, srv.URL+"/disks/my%20vm/scsi0%2F0")
+	if code != 200 || !strings.Contains(body, `"my vm"`) {
+		t.Errorf("escaped snapshot: %d %s", code, body)
+	}
+}
+
+// TestSplitPathBadEscape exercises the 400 branch for malformed escapes,
+// both at the unit level and end to end over a raw socket (the Go client
+// refuses to send such URLs, so the wire test goes through net.Dial).
+func TestSplitPathBadEscape(t *testing.T) {
+	if _, err := splitPath("/disks/a%zz/b"); err == nil {
+		t.Error("splitPath accepted a malformed escape")
+	}
+	if parts, err := splitPath("/disks/a%2Fb/c"); err != nil || len(parts) != 3 || parts[1] != "a/b" {
+		t.Errorf("splitPath(%%2F) = %v, %v", parts, err)
+	}
+
+	reg := core.NewRegistry()
+	srv := httptest.NewServer(New(reg))
+	t.Cleanup(srv.Close)
+	conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	fmt.Fprintf(conn, "GET /disks/a%%zz/b HTTP/1.0\r\nHost: x\r\n\r\n")
+	status, err := bufio.NewReader(conn).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(status, "400") {
+		t.Errorf("bad escape on the wire got %q, want 400", strings.TrimSpace(status))
+	}
+}
+
+// TestServeWhileSimulationRuns is the package's -race stress test: one
+// goroutine drives the simulation (issuing commands through the observed
+// disk) while HTTP clients concurrently list, snapshot, and toggle
+// enable/disable/reset — the "serving while a simulation runs on another
+// goroutine" promise the package doc makes.
+func TestServeWhileSimulationRuns(t *testing.T) {
+	srv, _, _ := newServer(t)
+	post(t, srv.URL+"/disks/vm1/scsi0:0/enable")
+
+	// Rebuild a private world so the sim goroutine owns engine and disk.
+	eng := simclock.NewEngine()
+	backend := vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		eng.After(100*simclock.Microsecond, func(simclock.Time) { done(scsi.StatusGood, scsi.Sense{}) })
+	})
+	d := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{VM: "vm2", Name: "scsi0:0", CapacitySectors: 1 << 20})
+	reg2 := core.NewRegistry()
+	col := core.NewCollector("vm2", "scsi0:0")
+	d.AddObserver(col)
+	reg2.Register(col)
+	col.Enable()
+	srv2 := httptest.NewServer(New(reg2))
+	t.Cleanup(srv2.Close)
+
+	simDone := make(chan struct{})
+	go func() {
+		defer close(simDone)
+		for i := 0; i < 2000; i++ {
+			d.Issue(scsi.Read(uint64(i%1024)*8, 8), nil)
+			eng.Run()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-simDone:
+					return
+				default:
+				}
+				switch w % 4 {
+				case 0:
+					get(t, srv2.URL+"/disks")
+				case 1:
+					get(t, srv2.URL+"/disks/vm2/scsi0:0")
+				case 2:
+					get(t, srv2.URL+"/disks/vm2/scsi0:0/histogram?metric=latency")
+				case 3:
+					post(t, srv2.URL+"/disks/vm2/scsi0:0/reset")
+					post(t, srv2.URL+"/disks/vm2/scsi0:0/disable")
+					post(t, srv2.URL+"/disks/vm2/scsi0:0/enable")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	code, body := get(t, srv2.URL+"/disks/vm2/scsi0:0")
+	if code != 200 {
+		t.Fatalf("final snapshot: %d %s", code, body)
+	}
+	var snap core.Snapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("final snapshot JSON: %v", err)
+	}
+	if snap.Commands < 0 {
+		t.Errorf("inconsistent final snapshot: %d commands", snap.Commands)
 	}
 }

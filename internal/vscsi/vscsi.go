@@ -14,6 +14,7 @@ package vscsi
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"vscsistats/internal/scsi"
 	"vscsistats/internal/simclock"
@@ -97,9 +98,13 @@ type DiskConfig struct {
 	MaxActive int
 }
 
-// Disk is a virtual SCSI disk. It is not safe for concurrent use: in this
-// system all I/O runs on the single-threaded simulation engine, exactly as
-// ESX serializes per-disk queue manipulation.
+// Disk is a virtual SCSI disk. Queue manipulation (Issue, Abort, Close,
+// AddObserver) is confined to the goroutine that owns the disk's engine,
+// exactly as ESX serializes per-disk queue manipulation — but the lifetime
+// counters (Inflight, Issued, Completed, Errored) are atomics, so
+// monitoring goroutines (esxtop-style views, the HTTP stats service, the
+// parallel multi-VM driver's control plane) may read them while the owning
+// goroutine runs the simulation.
 type Disk struct {
 	cfg     DiskConfig
 	eng     *simclock.Engine
@@ -108,17 +113,17 @@ type Disk struct {
 	observers []Observer
 
 	nextID   uint64
-	inflight int // issued, not completed (includes pending)
-	active   int // submitted to the backend
+	inflight atomic.Int64 // issued, not completed (includes pending)
+	active   int          // submitted to the backend
 	pending  []*Request
 	closed   bool
 
-	issued    uint64
-	completed uint64
-	errored   uint64
+	issued    atomic.Uint64
+	completed atomic.Uint64
+	errored   atomic.Uint64
 
 	// lastSense is the most recent non-GOOD completion's sense data,
-	// returned by REQUEST SENSE emulation.
+	// returned by REQUEST SENSE emulation. Owning-goroutine only.
 	lastSense scsi.Sense
 }
 
@@ -143,7 +148,7 @@ func (d *Disk) Name() string { return d.cfg.Name }
 func (d *Disk) CapacitySectors() uint64 { return d.cfg.CapacitySectors }
 
 // Inflight returns the number of issued-but-not-completed commands.
-func (d *Disk) Inflight() int { return d.inflight }
+func (d *Disk) Inflight() int { return int(d.inflight.Load()) }
 
 // LastSense returns the most recent failed completion's sense data (zero
 // if no command has failed).
@@ -151,9 +156,9 @@ func (d *Disk) LastSense() scsi.Sense { return d.lastSense }
 
 // Issued and Completed report lifetime command counts; Errored counts
 // completions with a status other than GOOD.
-func (d *Disk) Issued() uint64    { return d.issued }
-func (d *Disk) Completed() uint64 { return d.completed }
-func (d *Disk) Errored() uint64   { return d.errored }
+func (d *Disk) Issued() uint64    { return d.issued.Load() }
+func (d *Disk) Completed() uint64 { return d.completed.Load() }
+func (d *Disk) Errored() uint64   { return d.errored.Load() }
 
 // AddObserver attaches an observer to the fast path.
 func (d *Disk) AddObserver(o Observer) {
@@ -189,12 +194,12 @@ func (d *Disk) Issue(cmd scsi.Command, done func(*Request)) (*Request, error) {
 		Disk:               d.cfg.Name,
 		Cmd:                cmd,
 		IssueTime:          d.eng.Now(),
-		OutstandingAtIssue: d.inflight,
+		OutstandingAtIssue: int(d.inflight.Load()),
 		done:               done,
 	}
 	d.nextID++
-	d.inflight++
-	d.issued++
+	d.inflight.Add(1)
+	d.issued.Add(1)
 	for _, o := range d.observers {
 		o.OnIssue(r)
 	}
@@ -227,12 +232,12 @@ func (d *Disk) IssueCDB(cdb []byte, done func(*Request)) (*Request, error) {
 			Disk:               d.cfg.Name,
 			Cmd:                scsi.Command{Op: scsi.OpCode(firstByte(cdb))},
 			IssueTime:          d.eng.Now(),
-			OutstandingAtIssue: d.inflight,
+			OutstandingAtIssue: int(d.inflight.Load()),
 			done:               done,
 		}
 		d.nextID++
-		d.inflight++
-		d.issued++
+		d.inflight.Add(1)
+		d.issued.Add(1)
 		for _, o := range d.observers {
 			o.OnIssue(r)
 		}
@@ -275,10 +280,10 @@ func (d *Disk) finish(r *Request, status scsi.Status, sense scsi.Sense) {
 	r.CompleteTime = d.eng.Now()
 	r.Status = status
 	r.Sense = sense
-	d.inflight--
-	d.completed++
+	d.inflight.Add(-1)
+	d.completed.Add(1)
 	if status != scsi.StatusGood {
-		d.errored++
+		d.errored.Add(1)
 		d.lastSense = sense
 	}
 	for _, o := range d.observers {

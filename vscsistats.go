@@ -204,6 +204,28 @@ type SharedDatastore = hypervisor.SharedDatastore
 // NewHost creates an empty host on the engine.
 func NewHost(eng *Engine) *Host { return hypervisor.NewHost(eng) }
 
+// NewHostOn creates a host whose collectors register into a shared
+// registry, pooling several hosts behind one control plane.
+func NewHostOn(eng *Engine, reg *Registry) *Host { return hypervisor.NewHostOn(eng, reg) }
+
+// --- Parallel multi-VM driver ---
+
+// ParallelSim runs N independent simulation worlds (engine + host each) on
+// separate goroutines with one shared collector registry; SimWorld is one
+// such world. Use it for embarrassingly parallel multi-VM studies where
+// each VM has its own datastore; VMs contending on one array still belong
+// on a single engine.
+type (
+	ParallelSim = hypervisor.ParallelSim
+	SimWorld    = hypervisor.World
+)
+
+// NewParallelSim creates n worlds and provisions each via setup. VM names
+// must be unique across worlds (derive them from w.Index).
+func NewParallelSim(n int, setup func(w *SimWorld)) *ParallelSim {
+	return hypervisor.NewParallelSim(n, setup)
+}
+
 // --- Storage models ---
 
 // ArrayConfig describes a storage array; the presets mirror the paper's
