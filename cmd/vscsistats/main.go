@@ -16,6 +16,7 @@ import (
 	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"vscsistats"
 )
@@ -32,6 +33,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of ASCII charts")
 		interval   = flag.Int("interval", 0, "also record per-interval histograms every N seconds")
 		serve      = flag.String("serve", "", "after the run, serve the results over HTTP at this address (e.g. :8080)")
+		lifetrace  = flag.Int("lifetrace", 0, "attach a lifecycle tracer retaining the last N events; exported at /debug/trace with -serve")
 		compare    = flag.String("compare", "", "second scenario to run and compare against -workload")
 		categorize = flag.Bool("categorize", false, "classify -workload against short reference runs of every other scenario")
 	)
@@ -72,6 +74,12 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	var tracer *vscsistats.LifecycleTracer
+	if *lifetrace > 0 {
+		tracer = vscsistats.NewLifecycleTracer(*lifetrace)
+		sc.VD.Disk.AddObserver(tracer)
 	}
 
 	var rec *vscsistats.IntervalRecorder
@@ -129,8 +137,24 @@ func main() {
 		sc.Name, st, st.Rate(dur), st.Throughput(dur)/(1<<20))
 
 	if *serve != "" {
-		fmt.Fprintf(os.Stderr, "serving stats on http://%s/disks\n", *serve)
-		if err := http.ListenAndServe(*serve, vscsistats.NewStatsHandler(sc.Host.Registry())); err != nil {
+		reg := sc.Host.Registry()
+		streamer := vscsistats.NewSnapshotStreamer(reg, 2*time.Second, 300)
+		streamer.Start()
+		defer streamer.Stop()
+		opts := vscsistats.StatsOptions{
+			Metrics: vscsistats.NewMetricsExporter(reg).WithDiskStats(sc.Host),
+			Series:  streamer,
+		}
+		if tracer != nil {
+			opts.Trace = tracer
+			opts.OnControl = tracer.ControlVerb
+		}
+		fmt.Fprintf(os.Stderr, "serving stats on http://%s/disks (also /metrics, /watch", *serve)
+		if tracer != nil {
+			fmt.Fprint(os.Stderr, ", /debug/trace")
+		}
+		fmt.Fprintln(os.Stderr, ")")
+		if err := http.ListenAndServe(*serve, vscsistats.NewStatsHandlerWith(reg, opts)); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

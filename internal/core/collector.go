@@ -17,6 +17,7 @@ package core
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vscsistats/internal/histogram"
 	"vscsistats/internal/scsi"
@@ -44,6 +45,10 @@ type Collector struct {
 	// that loaded the pointer keeps working against a consistent set even
 	// if a Reset lands mid-command.
 	h atomic.Pointer[histSet]
+	// self is the collector's self-telemetry (see selfstats.go): counters
+	// and a sampled ns/observe histogram that make the paper's Table 2
+	// overhead a live metric. It survives Reset.
+	self *selfStats
 }
 
 // histSet is the dynamically allocated state, created on first Enable.
@@ -102,7 +107,7 @@ func NewCollectorWindow(vm, disk string, n int) *Collector {
 	if n < 1 {
 		panic("core: window must be >= 1")
 	}
-	return &Collector{vm: vm, disk: disk, window: n}
+	return &Collector{vm: vm, disk: disk, window: n, self: newSelfStats()}
 }
 
 // VM and Disk identify the virtual disk being characterized.
@@ -172,8 +177,15 @@ func (c *Collector) OnIssue(r *vscsi.Request) {
 	if !cmd.Op.IsBlockIO() {
 		return
 	}
+	n := c.self.observations.Add(1)
+	sampled := n&selfSampleMask == 0
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	h := c.h.Load()
 	if h == nil {
+		c.self.dropped.Add(1)
 		return
 	}
 	class := classRead
@@ -200,8 +212,13 @@ func (c *Collector) OnIssue(r *vscsi.Request) {
 
 	// The stream-correlated metrics relate this command to its predecessors,
 	// so their state updates form one critical section; the derived samples
-	// are inserted after release to keep it short.
-	h.streamMu.Lock()
+	// are inserted after release to keep it short. TryLock first so a
+	// collision between issuing goroutines — the fast path's only blocking
+	// point — shows up in the self-telemetry.
+	if !h.streamMu.TryLock() {
+		c.self.contended.Add(1)
+		h.streamMu.Lock()
+	}
 	// Seek distance: first block of this I/O minus last block of the
 	// previous I/O, preserved signed to expose reverse scans (§3.1).
 	seek, haveSeek := int64(0), h.haveLast
@@ -244,6 +261,10 @@ func (c *Collector) OnIssue(r *vscsi.Request) {
 		h.interarrival[classAll].Insert(inter)
 		h.interarrival[class].Insert(inter)
 	}
+
+	if sampled {
+		c.self.observeNs.Insert(time.Since(t0).Nanoseconds())
+	}
 }
 
 // OnComplete records device latency (§3.5) and error counts.
@@ -254,20 +275,30 @@ func (c *Collector) OnComplete(r *vscsi.Request) {
 	if !r.Cmd.Op.IsBlockIO() {
 		return
 	}
+	n := c.self.observations.Add(1)
+	sampled := n&selfSampleMask == 0
+	var t0 time.Time
+	if sampled {
+		t0 = time.Now()
+	}
 	h := c.h.Load()
 	if h == nil {
+		c.self.dropped.Add(1)
 		return
 	}
 	if r.Status != scsi.StatusGood {
 		h.errors.Add(1)
-		return
-	}
-	lat := r.Latency().Micros()
-	h.latency[classAll].Insert(lat)
-	if r.Cmd.Op.IsWrite() {
-		h.latency[classWrite].Insert(lat)
 	} else {
-		h.latency[classRead].Insert(lat)
+		lat := r.Latency().Micros()
+		h.latency[classAll].Insert(lat)
+		if r.Cmd.Op.IsWrite() {
+			h.latency[classWrite].Insert(lat)
+		} else {
+			h.latency[classRead].Insert(lat)
+		}
+	}
+	if sampled {
+		c.self.observeNs.Insert(time.Since(t0).Nanoseconds())
 	}
 }
 

@@ -81,6 +81,7 @@ func (c *Collector) Snapshot() *Snapshot {
 	if h == nil {
 		return nil
 	}
+	c.self.noteSnapshot()
 	s := &Snapshot{
 		VM:           c.vm,
 		Disk:         c.disk,

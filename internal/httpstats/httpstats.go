@@ -1,7 +1,8 @@
 // Package httpstats exposes a host's characterization service over HTTP —
 // the moral equivalent of the paper's /proc/vmware/scsi stats node (§5.2),
 // done the way a modern control plane would: JSON snapshots per virtual
-// disk, plus enable/disable/reset controls.
+// disk, plus enable/disable/reset controls and mount points for the
+// telemetry layer's exporters.
 //
 // Routes:
 //
@@ -9,13 +10,18 @@
 //	GET  /disks/{vm}/{disk}              full snapshot as JSON
 //	GET  /disks/{vm}/{disk}/histogram?metric=ioLength&class=reads
 //	GET  /disks/{vm}/{disk}/fingerprint  classification + recommendations
+//	GET  /disks/{vm}/{disk}/series       interval time series (Options.Series)
 //	POST /disks/{vm}/{disk}/enable       turn the service on
 //	POST /disks/{vm}/{disk}/disable      turn it off (data retained)
 //	POST /disks/{vm}/{disk}/reset        discard accumulated data
+//	GET  /metrics                        Prometheus exposition (Options.Metrics)
+//	GET  /debug/trace                    Chrome trace JSON (Options.Trace)
+//	GET  /watch                          SSE interval feed (Options.Series)
 //
 // Path segments are URL-decoded, so VM and disk names containing spaces or
 // reserved characters (%20, %2F, …) address correctly; malformed escapes
-// get 400.
+// get 400. Error responses are JSON ({"error": ...}) with
+// Content-Type: application/json, and every 405 carries an Allow header.
 package httpstats
 
 import (
@@ -27,17 +33,46 @@ import (
 	"vscsistats/internal/core"
 )
 
+// SeriesSource serves the interval time-series surfaces: a per-disk JSON
+// series and a live SSE feed. telemetry.Streamer implements it; the
+// indirection keeps this package free of a telemetry dependency.
+type SeriesSource interface {
+	ServeSeries(w http.ResponseWriter, r *http.Request, vm, disk string)
+	ServeWatch(w http.ResponseWriter, r *http.Request)
+}
+
+// Options mounts optional observability surfaces onto the handler. Nil
+// fields leave their routes unmounted (404).
+type Options struct {
+	// Metrics serves GET /metrics (e.g. a telemetry.Exporter).
+	Metrics http.Handler
+	// Trace serves GET /debug/trace (e.g. a telemetry.LifecycleTracer).
+	Trace http.Handler
+	// Series serves GET /disks/{vm}/{disk}/series and GET /watch.
+	Series SeriesSource
+	// OnControl, if set, observes every successful control-plane action:
+	// verb is "enable", "disable", "reset" or "snapshot".
+	OnControl func(verb, vm, disk string)
+}
+
 // Handler serves a registry. Registry, Collector and histogram operations
 // are all safe for concurrent use, so any number of handler goroutines can
 // list disks, read snapshots and toggle or reset collection while one or
 // more simulation goroutines (e.g. the parallel multi-VM driver's worlds)
 // issue commands through the observed disks.
 type Handler struct {
-	reg *core.Registry
+	reg  *core.Registry
+	opts Options
 }
 
-// New returns an http.Handler over the registry.
-func New(reg *core.Registry) *Handler { return &Handler{reg: reg} }
+// New returns an http.Handler over the registry with no optional surfaces.
+func New(reg *core.Registry) *Handler { return NewWith(reg, Options{}) }
+
+// NewWith returns an http.Handler over the registry with the given
+// observability mounts.
+func NewWith(reg *core.Registry, opts Options) *Handler {
+	return &Handler{reg: reg, opts: opts}
+}
 
 // diskInfo is the list-view record.
 type diskInfo struct {
@@ -51,11 +86,30 @@ type diskInfo struct {
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	parts, err := splitPath(r.URL.EscapedPath())
 	if err != nil {
-		http.Error(w, "bad path escape", http.StatusBadRequest)
+		jsonError(w, http.StatusBadRequest, "bad path escape")
 		return
 	}
+	if len(parts) >= 1 {
+		switch {
+		case len(parts) == 1 && parts[0] == "metrics":
+			if h.opts.Metrics != nil {
+				h.opts.Metrics.ServeHTTP(w, r)
+				return
+			}
+		case len(parts) == 2 && parts[0] == "debug" && parts[1] == "trace":
+			if h.opts.Trace != nil {
+				h.opts.Trace.ServeHTTP(w, r)
+				return
+			}
+		case len(parts) == 1 && parts[0] == "watch":
+			if h.opts.Series != nil {
+				h.opts.Series.ServeWatch(w, r)
+				return
+			}
+		}
+	}
 	if len(parts) == 0 || parts[0] != "disks" {
-		http.NotFound(w, r)
+		jsonError(w, http.StatusNotFound, "not found")
 		return
 	}
 	switch {
@@ -66,7 +120,7 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	case len(parts) == 4:
 		h.action(w, r, parts[1], parts[2], parts[3])
 	default:
-		http.NotFound(w, r)
+		jsonError(w, http.StatusNotFound, "not found")
 	}
 }
 
@@ -89,9 +143,15 @@ func splitPath(p string) ([]string, error) {
 	return out, nil
 }
 
+func (h *Handler) control(verb, vm, disk string) {
+	if h.opts.OnControl != nil {
+		h.opts.OnControl(verb, vm, disk)
+	}
+}
+
 func (h *Handler) list(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
 		return
 	}
 	var infos []diskInfo
@@ -108,14 +168,14 @@ func (h *Handler) list(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) lookup(w http.ResponseWriter, vm, disk string) *core.Collector {
 	c := h.reg.Lookup(vm, disk)
 	if c == nil {
-		http.Error(w, "unknown virtual disk", http.StatusNotFound)
+		jsonError(w, http.StatusNotFound, "unknown virtual disk")
 	}
 	return c
 }
 
 func (h *Handler) snapshot(w http.ResponseWriter, r *http.Request, vm, disk string) {
 	if r.Method != http.MethodGet {
-		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
 		return
 	}
 	c := h.lookup(w, vm, disk)
@@ -124,13 +184,26 @@ func (h *Handler) snapshot(w http.ResponseWriter, r *http.Request, vm, disk stri
 	}
 	s := c.Snapshot()
 	if s == nil {
-		http.Error(w, "service never enabled for this disk", http.StatusConflict)
+		jsonError(w, http.StatusConflict, "service never enabled for this disk")
 		return
 	}
+	h.control("snapshot", vm, disk)
 	writeJSON(w, s)
 }
 
 func (h *Handler) action(w http.ResponseWriter, r *http.Request, vm, disk, verb string) {
+	if verb == "series" {
+		if h.opts.Series == nil {
+			jsonError(w, http.StatusNotFound, "not found")
+			return
+		}
+		if h.reg.Lookup(vm, disk) == nil {
+			jsonError(w, http.StatusNotFound, "unknown virtual disk")
+			return
+		}
+		h.opts.Series.ServeSeries(w, r, vm, disk)
+		return
+	}
 	c := h.lookup(w, vm, disk)
 	if c == nil {
 		return
@@ -138,12 +211,12 @@ func (h *Handler) action(w http.ResponseWriter, r *http.Request, vm, disk, verb 
 	switch verb {
 	case "histogram":
 		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			jsonError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
 			return
 		}
 		s := c.Snapshot()
 		if s == nil {
-			http.Error(w, "service never enabled for this disk", http.StatusConflict)
+			jsonError(w, http.StatusConflict, "service never enabled for this disk")
 			return
 		}
 		metric := core.Metric(r.URL.Query().Get("metric"))
@@ -158,25 +231,27 @@ func (h *Handler) action(w http.ResponseWriter, r *http.Request, vm, disk, verb 
 		case "writes":
 			class = core.Writes
 		default:
-			http.Error(w, "unknown class", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "unknown class")
 			return
 		}
 		hist := s.Histogram(metric, class)
 		if hist == nil {
-			http.Error(w, "unknown metric", http.StatusBadRequest)
+			jsonError(w, http.StatusBadRequest, "unknown metric")
 			return
 		}
+		h.control("snapshot", vm, disk)
 		writeJSON(w, hist)
 	case "fingerprint":
 		if r.Method != http.MethodGet {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			jsonError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
 			return
 		}
 		s := c.Snapshot()
 		if s == nil {
-			http.Error(w, "service never enabled for this disk", http.StatusConflict)
+			jsonError(w, http.StatusConflict, "service never enabled for this disk")
 			return
 		}
+		h.control("snapshot", vm, disk)
 		fp := core.FingerprintOf(s)
 		writeJSON(w, struct {
 			core.Fingerprint
@@ -184,7 +259,7 @@ func (h *Handler) action(w http.ResponseWriter, r *http.Request, vm, disk, verb 
 		}{fp, fp.Recommendations()})
 	case "enable", "disable", "reset":
 		if r.Method != http.MethodPost {
-			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			jsonError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodPost)
 			return
 		}
 		switch verb {
@@ -195,10 +270,22 @@ func (h *Handler) action(w http.ResponseWriter, r *http.Request, vm, disk, verb 
 		case "reset":
 			c.Reset()
 		}
+		h.control(verb, vm, disk)
 		writeJSON(w, map[string]bool{"enabled": c.Enabled()})
 	default:
-		http.NotFound(w, r)
+		jsonError(w, http.StatusNotFound, "not found")
 	}
+}
+
+// jsonError writes a JSON error body with the given status, setting the
+// Allow header when allowed methods are supplied (mandatory on 405).
+func jsonError(w http.ResponseWriter, code int, msg string, allow ...string) {
+	if len(allow) > 0 {
+		w.Header().Set("Allow", strings.Join(allow, ", "))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -206,6 +293,6 @@ func writeJSON(w http.ResponseWriter, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		jsonError(w, http.StatusInternalServerError, err.Error())
 	}
 }

@@ -1,0 +1,150 @@
+package httpstats
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vscsistats/internal/core"
+)
+
+// TestErrorContract: every 405 carries an Allow header, and every error
+// response (404/405/400/409) is a JSON body with the right Content-Type.
+func TestErrorContract(t *testing.T) {
+	srv, _, _ := newServer(t)
+	cases := []struct {
+		method, path string
+		want         int
+		wantAllow    string
+	}{
+		{"POST", "/disks", 405, "GET"},
+		{"POST", "/disks/vm1/scsi0:0", 405, "GET"},
+		{"GET", "/disks/vm1/scsi0:0/enable", 405, "POST"},
+		{"DELETE", "/disks/vm1/scsi0:0/reset", 405, "POST"},
+		{"POST", "/disks/vm1/scsi0:0/histogram", 405, "GET"},
+		{"POST", "/disks/vm1/scsi0:0/fingerprint", 405, "GET"},
+		{"GET", "/nope", 404, ""},
+		{"GET", "/disks/ghost/disk", 404, ""},
+		{"GET", "/disks/vm1/scsi0:0", 409, ""}, // never enabled
+	}
+	for _, c := range cases {
+		req, _ := http.NewRequest(c.method, srv.URL+c.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != c.want {
+			t.Errorf("%s %s = %d, want %d", c.method, c.path, resp.StatusCode, c.want)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s %s Content-Type = %q, want application/json", c.method, c.path, ct)
+		}
+		if allow := resp.Header.Get("Allow"); allow != c.wantAllow {
+			t.Errorf("%s %s Allow = %q, want %q", c.method, c.path, allow, c.wantAllow)
+		}
+		var sb strings.Builder
+		buf := make([]byte, 1024)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		resp.Body.Close()
+		if !strings.Contains(sb.String(), `"error"`) {
+			t.Errorf("%s %s body = %q, want JSON error object", c.method, c.path, sb.String())
+		}
+	}
+}
+
+type stubSeries struct {
+	series []string
+	watch  int
+}
+
+func (s *stubSeries) ServeSeries(w http.ResponseWriter, r *http.Request, vm, disk string) {
+	s.series = append(s.series, vm+"/"+disk)
+	w.WriteHeader(200)
+}
+
+func (s *stubSeries) ServeWatch(w http.ResponseWriter, r *http.Request) {
+	s.watch++
+	w.WriteHeader(200)
+}
+
+// TestObservabilityMounts: Options mounts /metrics, /debug/trace, /watch
+// and the per-disk series route; unmounted surfaces 404 as JSON.
+func TestObservabilityMounts(t *testing.T) {
+	reg := core.NewRegistry()
+	reg.Register(core.NewCollector("my vm", "scsi0:0"))
+
+	stub := &stubSeries{}
+	metricsHit, traceHit := 0, 0
+	h := NewWith(reg, Options{
+		Metrics: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { metricsHit++ }),
+		Trace:   http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) { traceHit++ }),
+		Series:  stub,
+	})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	if code, _ := get(t, srv.URL+"/metrics"); code != 200 || metricsHit != 1 {
+		t.Errorf("/metrics: code %d, hits %d", code, metricsHit)
+	}
+	if code, _ := get(t, srv.URL+"/debug/trace"); code != 200 || traceHit != 1 {
+		t.Errorf("/debug/trace: code %d, hits %d", code, traceHit)
+	}
+	if code, _ := get(t, srv.URL+"/watch"); code != 200 || stub.watch != 1 {
+		t.Errorf("/watch: code %d, hits %d", code, stub.watch)
+	}
+	// Series routes through the decoded vm/disk path segments.
+	if code, _ := get(t, srv.URL+"/disks/my%20vm/scsi0:0/series"); code != 200 {
+		t.Errorf("/series: code %d", code)
+	}
+	if len(stub.series) != 1 || stub.series[0] != "my vm/scsi0:0" {
+		t.Errorf("series calls = %v", stub.series)
+	}
+	if code, _ := get(t, srv.URL+"/disks/ghost/d/series"); code != 404 {
+		t.Errorf("series for unknown disk: %d", code)
+	}
+
+	// Without mounts, the same routes are JSON 404s.
+	bare := httptest.NewServer(New(reg))
+	t.Cleanup(bare.Close)
+	for _, path := range []string{"/metrics", "/debug/trace", "/watch", "/disks/my%20vm/scsi0:0/series"} {
+		code, body := get(t, bare.URL+path)
+		if code != 404 || !strings.Contains(body, `"error"`) {
+			t.Errorf("unmounted %s: %d %q", path, code, body)
+		}
+	}
+}
+
+// TestOnControlHook: the hook observes enable/disable/reset and snapshots.
+func TestOnControlHook(t *testing.T) {
+	reg := core.NewRegistry()
+	reg.Register(core.NewCollector("vm1", "d0"))
+	var calls []string
+	h := NewWith(reg, Options{OnControl: func(verb, vm, disk string) {
+		calls = append(calls, verb+":"+vm+"/"+disk)
+	}})
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+
+	post(t, srv.URL+"/disks/vm1/d0/enable")
+	get(t, srv.URL+"/disks/vm1/d0")
+	post(t, srv.URL+"/disks/vm1/d0/disable")
+	post(t, srv.URL+"/disks/vm1/d0/reset")
+	post(t, srv.URL+"/disks/ghost/d/enable") // 404: no hook call
+
+	want := []string{"enable:vm1/d0", "snapshot:vm1/d0", "disable:vm1/d0", "reset:vm1/d0"}
+	if len(calls) != len(want) {
+		t.Fatalf("calls = %v, want %v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Errorf("calls[%d] = %q, want %q", i, calls[i], want[i])
+		}
+	}
+}

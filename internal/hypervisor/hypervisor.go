@@ -139,6 +139,23 @@ func (h *Host) VMs() []*VM {
 	return out
 }
 
+// DiskCounters reports the vSCSI-layer lifetime counters of one virtual
+// disk (telemetry.DiskStatsSource). The counters themselves are atomics,
+// so — like Top — this is safe to call while simulations run, as long as
+// the topology (CreateVM/AddDisk/DetachDisk) is not mutated concurrently.
+func (h *Host) DiskCounters(vmName, diskName string) (issued, completed, errored uint64, inflight int64, ok bool) {
+	vm := h.vms[vmName]
+	if vm == nil {
+		return 0, 0, 0, 0, false
+	}
+	vd := vm.disks[diskName]
+	if vd == nil {
+		return 0, 0, 0, 0, false
+	}
+	d := vd.Disk
+	return d.Issued(), d.Completed(), d.Errored(), int64(d.Inflight()), true
+}
+
 // VM is a virtual machine: a named collection of virtual disks.
 type VM struct {
 	host  *Host

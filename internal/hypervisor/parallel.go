@@ -119,6 +119,18 @@ func (p *ParallelSim) each(f func(*World)) {
 	wg.Wait()
 }
 
+// DiskCounters finds the named virtual disk in whichever world hosts it
+// and reports its vSCSI-layer counters (telemetry.DiskStatsSource). VM
+// names are unique across worlds, so the first match wins.
+func (p *ParallelSim) DiskCounters(vm, disk string) (issued, completed, errored uint64, inflight int64, ok bool) {
+	for _, w := range p.worlds {
+		if issued, completed, errored, inflight, ok = w.Host.DiskCounters(vm, disk); ok {
+			return
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
 // Top renders one esxtop-style counter table across every world's host
 // (each per-host table repeats the header; keep only the first).
 func (p *ParallelSim) Top() string {

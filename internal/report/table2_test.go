@@ -1,0 +1,40 @@
+package report
+
+import (
+	"math"
+	"testing"
+)
+
+// TestFastPathCostSane: on a short fixed-length run, the computed overhead
+// percentage is finite and non-negative, and the live self-telemetry
+// agrees in order of magnitude with a sane per-command cost.
+func TestFastPathCostSane(t *testing.T) {
+	const iters = 200_000
+	cost := MeasureFastPathCost(iters)
+
+	if math.IsNaN(cost.OverheadPct) || math.IsInf(cost.OverheadPct, 0) {
+		t.Fatalf("overhead%% not finite: %v", cost.OverheadPct)
+	}
+	if cost.OverheadPct < 0 {
+		t.Errorf("overhead%% negative after clamp: %v", cost.OverheadPct)
+	}
+	if cost.OverheadNs < 0 {
+		t.Errorf("overhead ns negative after clamp: %v", cost.OverheadNs)
+	}
+	if cost.PerCmdOffNs <= 0 || cost.PerCmdOnNs <= 0 {
+		t.Errorf("per-command costs: off %v on %v, want > 0", cost.PerCmdOffNs, cost.PerCmdOnNs)
+	}
+
+	// Live self-telemetry from the enabled arm: issue+complete per command,
+	// 1-in-64 of them timed, and a plausible mean (sub-10µs on any machine
+	// this runs on; zero would mean the sampler never fired).
+	if want := int64(2 * iters); cost.LiveObservations != want {
+		t.Errorf("live observations = %d, want %d", cost.LiveObservations, want)
+	}
+	if want := int64(2 * iters / 64); cost.LiveSampled != want {
+		t.Errorf("live sampled = %d, want %d", cost.LiveSampled, want)
+	}
+	if cost.LiveMeanObserveNs <= 0 || cost.LiveMeanObserveNs > 1e7 {
+		t.Errorf("live mean observe = %v ns, want (0, 1e7)", cost.LiveMeanObserveNs)
+	}
+}

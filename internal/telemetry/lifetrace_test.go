@@ -1,0 +1,152 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+func mkReq(id int, vm, disk string, issue, complete simclock.Time) *vscsi.Request {
+	return &vscsi.Request{
+		ID:           uint64(id),
+		VM:           vm,
+		Disk:         disk,
+		Cmd:          scsi.Read(uint64(id)*8, 8),
+		IssueTime:    issue,
+		CompleteTime: complete,
+		Status:       scsi.StatusGood,
+	}
+}
+
+// TestLifecycleRingWraparound: a ring of capacity 4 fed 10 events keeps
+// exactly the last 4, oldest first, while Total counts all 10.
+func TestLifecycleRingWraparound(t *testing.T) {
+	tr := NewLifecycleTracer(4)
+	if tr.Cap() != 4 {
+		t.Fatalf("cap = %d", tr.Cap())
+	}
+	for i := 0; i < 10; i++ {
+		tr.OnIssue(mkReq(i, "vm", "d", simclock.Time(i)*simclock.Microsecond, 0))
+	}
+	if tr.Len() != 4 {
+		t.Errorf("len = %d, want 4", tr.Len())
+	}
+	if tr.Total() != 10 {
+		t.Errorf("total = %d, want 10", tr.Total())
+	}
+	events := tr.Events()
+	if len(events) != 4 {
+		t.Fatalf("events = %d", len(events))
+	}
+	for i, e := range events {
+		if want := uint64(6 + i); e.Rec.Seq != want {
+			t.Errorf("events[%d].Seq = %d, want %d (oldest first)", i, e.Rec.Seq, want)
+		}
+	}
+
+	// Partial fill stays in insertion order.
+	tr2 := NewLifecycleTracer(8)
+	for i := 0; i < 3; i++ {
+		tr2.OnIssue(mkReq(i, "vm", "d", 0, 0))
+	}
+	ev2 := tr2.Events()
+	if len(ev2) != 3 || ev2[0].Rec.Seq != 0 || ev2[2].Rec.Seq != 2 {
+		t.Errorf("partial ring order: %+v", ev2)
+	}
+}
+
+// TestLifecycleControlEvents: control verbs land in the ring stamped with
+// the latest fast-path virtual time.
+func TestLifecycleControlEvents(t *testing.T) {
+	tr := NewLifecycleTracer(16)
+	tr.Control(EventEnable, "vm", "d")
+	tr.OnIssue(mkReq(1, "vm", "d", 250*simclock.Microsecond, 0))
+	tr.Control(EventSnapshot, "vm", "d")
+	events := tr.Events()
+	if len(events) != 3 {
+		t.Fatalf("events = %d", len(events))
+	}
+	if events[0].Kind != EventEnable || events[0].VirtualMicros != 0 {
+		t.Errorf("enable event: %+v", events[0])
+	}
+	if events[2].Kind != EventSnapshot || events[2].VirtualMicros != 250 {
+		t.Errorf("snapshot event not stamped with last virtual time: %+v", events[2])
+	}
+	// Unknown kinds are dropped, not recorded.
+	tr.Control(EventIssue, "vm", "d")
+	if tr.Len() != 3 {
+		t.Errorf("Control accepted a fast-path kind")
+	}
+}
+
+// TestChromeTraceExport: the export is valid JSON, contains metadata
+// naming every vm/disk, an X slice per completion with the right ts/dur,
+// and instants for issues and control verbs.
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewLifecycleTracer(64)
+	tr.Control(EventEnable, "vmB", "d1")
+	r1 := mkReq(1, "vmA", "d0", 100*simclock.Microsecond, 350*simclock.Microsecond)
+	tr.OnIssue(r1)
+	tr.OnComplete(r1)
+	r2 := mkReq(2, "vmB", "d1", 200*simclock.Microsecond, 900*simclock.Microsecond)
+	tr.OnIssue(r2)
+	tr.OnComplete(r2)
+
+	srv := httptest.NewServer(tr)
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var events []map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+
+	var metaNames []string
+	var sliceCount, instantCount int
+	for _, e := range events {
+		switch e["ph"] {
+		case "M":
+			metaNames = append(metaNames, e["args"].(map[string]any)["name"].(string))
+		case "X":
+			sliceCount++
+			if e["args"].(map[string]any)["seq"] == float64(1) {
+				if e["ts"] != float64(100) || e["dur"] != float64(250) {
+					t.Errorf("slice 1 ts/dur = %v/%v, want 100/250", e["ts"], e["dur"])
+				}
+			}
+		case "i":
+			instantCount++
+		}
+	}
+	wantMeta := map[string]bool{"vm vmA": true, "vm vmB": true, "disk d0": true, "disk d1": true}
+	for _, n := range metaNames {
+		delete(wantMeta, n)
+	}
+	if len(wantMeta) != 0 {
+		t.Errorf("missing metadata names: %v (got %v)", wantMeta, metaNames)
+	}
+	if sliceCount != 2 {
+		t.Errorf("slices = %d, want 2 (one per completion)", sliceCount)
+	}
+	if instantCount != 3 {
+		t.Errorf("instants = %d, want 3 (two issues + one control)", instantCount)
+	}
+
+	// Method guard.
+	rec := httptest.NewRecorder()
+	tr.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/trace", nil))
+	if rec.Code != http.StatusMethodNotAllowed || rec.Header().Get("Allow") != "GET" {
+		t.Errorf("POST: %d Allow=%q", rec.Code, rec.Header().Get("Allow"))
+	}
+}

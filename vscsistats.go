@@ -35,6 +35,7 @@ package vscsistats
 
 import (
 	"net/http"
+	"time"
 
 	"vscsistats/internal/analysis"
 	"vscsistats/internal/core"
@@ -46,6 +47,7 @@ import (
 	"vscsistats/internal/scsi"
 	"vscsistats/internal/simclock"
 	"vscsistats/internal/storage"
+	"vscsistats/internal/telemetry"
 	"vscsistats/internal/trace"
 	"vscsistats/internal/vscsi"
 	"vscsistats/internal/workload"
@@ -365,6 +367,47 @@ func NewSynthFromSnapshot(eng *Engine, d *Disk, s *Snapshot, seed int64) (*Synth
 // NewStatsHandler exposes a registry over HTTP (list, JSON snapshots,
 // per-histogram queries, fingerprints, enable/disable/reset).
 func NewStatsHandler(reg *Registry) http.Handler { return httpstats.New(reg) }
+
+// --- Observability (internal/telemetry) ---
+
+// MetricsExporter serves GET /metrics in the Prometheus text format;
+// LifecycleTracer keeps a ring of issue/complete/control events with
+// Chrome trace JSON export (GET /debug/trace); SnapshotStreamer samples
+// the registry on an interval and serves per-disk time series plus a live
+// SSE feed (GET /watch). SelfSnapshot is a collector's self-telemetry:
+// the live version of Table 2's overhead measurement.
+type (
+	MetricsExporter  = telemetry.Exporter
+	LifecycleTracer  = telemetry.LifecycleTracer
+	SnapshotStreamer = telemetry.Streamer
+	SelfSnapshot     = core.SelfSnapshot
+	DiskStatsSource  = telemetry.DiskStatsSource
+	StatsOptions     = httpstats.Options
+)
+
+// NewMetricsExporter builds a Prometheus exporter over a registry. Chain
+// .WithDiskStats(host or parallel sim) to add vSCSI-layer disk counters.
+func NewMetricsExporter(reg *Registry) *MetricsExporter { return telemetry.NewExporter(reg) }
+
+// NewLifecycleTracer builds a ring tracer retaining the last capacity
+// events; attach it with Disk.AddObserver and feed control-plane verbs to
+// Control.
+func NewLifecycleTracer(capacity int) *LifecycleTracer {
+	return telemetry.NewLifecycleTracer(capacity)
+}
+
+// NewSnapshotStreamer samples reg every interval (wall clock), retaining
+// depth interval deltas per disk. Call Start/Stop, or Tick directly for
+// deterministic sampling.
+func NewSnapshotStreamer(reg *Registry, interval time.Duration, depth int) *SnapshotStreamer {
+	return telemetry.NewStreamer(reg, interval, depth)
+}
+
+// NewStatsHandlerWith exposes a registry over HTTP with the observability
+// surfaces mounted: /metrics, /debug/trace, /watch and per-disk /series.
+func NewStatsHandlerWith(reg *Registry, opts StatsOptions) http.Handler {
+	return httpstats.NewWith(reg, opts)
+}
 
 // --- Tracing and offline analysis ---
 
