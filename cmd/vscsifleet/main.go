@@ -1,0 +1,170 @@
+// Command vscsifleet federates characterization across hosts: the same
+// constant-space histograms the paper keeps per virtual disk, merged
+// bin-exactly into per-VM and cluster-wide views.
+//
+// Aggregator mode — accept pushes, serve the merged views:
+//
+//	vscsifleet -mode aggregator -listen :9108 -stale 6s
+//
+// Agent mode — simulate one host's workload and push its registry:
+//
+//	vscsifleet -mode agent -host esx-01 -workload iometer-8k-rand \
+//	    -push http://127.0.0.1:9108/fleet/push -interval 2s
+//
+// The aggregator serves /fleet/hosts, /fleet/snapshot and /fleet/push,
+// plus /metrics (with the merged fleet_* series) and /healthz; agents
+// additionally expose their own full stats surface (-listen) so an
+// aggregator can scatter-gather pull them instead of waiting for pushes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"vscsistats"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "", "aggregator or agent")
+		listen = flag.String("listen", "", "HTTP listen address (aggregator default :9108; agents serve their stats surface when set)")
+
+		// Aggregator flags.
+		stale        = flag.Duration("stale", 6*time.Second, "aggregator: mark a host stale after this silence")
+		pull         = flag.String("pull", "", "aggregator: comma-separated host=url pull endpoints to scrape")
+		pullInterval = flag.Duration("pull-interval", 0, "aggregator: scatter-gather the -pull endpoints this often (0 = pushes only)")
+
+		// Agent flags.
+		host     = flag.String("host", "", "agent: host name reported to the aggregator (default: hostname)")
+		push     = flag.String("push", "", "agent: aggregator push URL, e.g. http://aggr:9108/fleet/push")
+		interval = flag.Duration("interval", 2*time.Second, "agent: push interval")
+		workload = flag.String("workload", "iometer-8k-rand", "agent: scenario to simulate (see vscsistats -list)")
+		seed     = flag.Int64("seed", 1, "agent: simulation seed")
+		speed    = flag.Int("speed", 1, "agent: virtual seconds simulated per wall second")
+		duration = flag.Duration("duration", 0, "agent: stop after this wall-clock time (0 = run until interrupted)")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "aggregator":
+		err = runAggregator(*listen, *stale, *pull, *pullInterval)
+	case "agent":
+		err = runAgent(*listen, *host, *push, *interval, *workload, *seed, *speed, *duration)
+	default:
+		err = fmt.Errorf("vscsifleet: -mode must be aggregator or agent")
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runAggregator(listen string, stale time.Duration, pull string, pullInterval time.Duration) error {
+	if listen == "" {
+		listen = ":9108"
+	}
+	agg := vscsistats.NewFleetAggregator(vscsistats.FleetAggregatorConfig{StaleAfter: stale})
+	if pull != "" {
+		for _, spec := range strings.Split(pull, ",") {
+			host, url, ok := strings.Cut(strings.TrimSpace(spec), "=")
+			if !ok {
+				return fmt.Errorf("vscsifleet: -pull entry %q is not host=url", spec)
+			}
+			agg.Watch(host, url)
+		}
+	}
+	if pullInterval > 0 {
+		go func() {
+			for range time.Tick(pullInterval) {
+				for host, err := range agg.PullAll() {
+					fmt.Fprintf(os.Stderr, "pull %s: %v\n", host, err)
+				}
+			}
+		}()
+	}
+
+	// The aggregator has no local disks; its registry exists so the stats
+	// surface (and /healthz) comes up uniform with every other node.
+	reg := vscsistats.NewRegistry()
+	handler := vscsistats.NewStatsHandlerWith(reg, vscsistats.StatsOptions{
+		Metrics: vscsistats.NewMetricsExporter(reg).WithFleet(agg),
+		Fleet:   agg,
+	})
+	fmt.Fprintf(os.Stderr, "aggregator on %s (/fleet/hosts, /fleet/snapshot, /fleet/push, /metrics, /healthz; stale after %s)\n",
+		listen, stale)
+	return http.ListenAndServe(listen, handler)
+}
+
+func runAgent(listen, host, push string, interval time.Duration, workload string, seed int64, speed int, duration time.Duration) error {
+	if host == "" {
+		host, _ = os.Hostname()
+		if host == "" {
+			host = "host"
+		}
+	}
+	if speed < 1 {
+		speed = 1
+	}
+	sc, err := vscsistats.NewScenario(workload, vscsistats.ScenarioConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	sc.Gen.Start()
+	sc.Eng.RunUntil(sc.Warmup)
+	sc.VD.Collector.Enable()
+	reg := sc.Host.Registry()
+
+	agent := vscsistats.NewFleetAgent(reg, vscsistats.FleetAgentConfig{
+		Host: host, Endpoint: push, Interval: interval,
+	})
+	if push != "" {
+		agent.Start()
+		defer agent.Stop()
+	}
+	if listen != "" {
+		handler := vscsistats.NewStatsHandlerWith(reg, vscsistats.StatsOptions{
+			Metrics: vscsistats.NewMetricsExporter(reg).WithDiskStats(sc.Host),
+		})
+		go http.ListenAndServe(listen, handler)
+		fmt.Fprintf(os.Stderr, "agent %s stats on %s\n", host, listen)
+	}
+	fmt.Fprintf(os.Stderr, "agent %s simulating %s at %dx realtime, pushing to %s every %s\n",
+		host, workload, speed, orNone(push), interval)
+
+	// Advance virtual time in wall-paced steps so the histograms keep
+	// accumulating while the agent pushes from its own goroutine.
+	var stop <-chan time.Time
+	if duration > 0 {
+		stop = time.After(duration)
+	}
+	tick := time.NewTicker(time.Second)
+	defer tick.Stop()
+	now := sc.Eng.Now()
+	for {
+		select {
+		case <-tick.C:
+			now += vscsistats.Time(speed) * vscsistats.Second
+			sc.Eng.RunUntil(now)
+		case <-stop:
+			if push != "" {
+				agent.PushNow()
+				st := agent.Stats()
+				fmt.Fprintf(os.Stderr, "agent %s done: %d pushes, %d errors, %d dropped\n",
+					host, st.Pushes, st.Errors, st.Dropped)
+			}
+			return nil
+		}
+	}
+}
+
+func orNone(s string) string {
+	if s == "" {
+		return "(nowhere)"
+	}
+	return s
+}

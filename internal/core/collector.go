@@ -151,6 +151,28 @@ func (c *Collector) Reset() {
 	}
 }
 
+// BreakStream forgets the stream-correlated state — the previous command's
+// end block, the windowed-seek ring and the previous arrival time — without
+// touching any histogram. It marks a discontinuity in the command stream: a
+// virtual disk handed off between hosts (vMotion), a collector adopted by a
+// new owner, or two per-host substreams being compared against one merged
+// stream. The next command contributes no seek, windowed-seek or
+// inter-arrival sample, exactly as a fresh collector's first command does,
+// which is what makes Aggregate over per-host snapshots bin-exact against
+// one collector observing the concatenated stream.
+func (c *Collector) BreakStream() {
+	h := c.h.Load()
+	if h == nil {
+		return
+	}
+	h.streamMu.Lock()
+	h.haveLast = false
+	h.recentLen = 0
+	h.recentPos = 0
+	h.haveArrival = false
+	h.streamMu.Unlock()
+}
+
 func newHistSet(window int) *histSet {
 	h := &histSet{recent: make([]uint64, window)}
 	for class, suffix := range [...]string{"", " (Reads)", " (Writes)"} {

@@ -1,0 +1,313 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vscsistats/internal/core"
+)
+
+// AgentConfig tunes a fleet agent. Zero values take the documented
+// defaults.
+type AgentConfig struct {
+	// Host names this host in the fleet, e.g. "esx-01". Required.
+	Host string
+	// Endpoint is the aggregator's push URL, e.g.
+	// "http://aggregator:9108/fleet/push". Required for pushing; an agent
+	// serving pulls only may leave it empty.
+	Endpoint string
+	// Interval is the push period (default 2s).
+	Interval time.Duration
+	// Timeout bounds each push request (default 5s).
+	Timeout time.Duration
+	// MaxRetryQueue bounds the batches kept for retry after failed pushes
+	// (default 16). When full, the oldest batch is dropped — batches are
+	// cumulative, so the next successful push carries everything a dropped
+	// one did.
+	MaxRetryQueue int
+	// MaxBackoff caps the exponential backoff between failed pushes
+	// (default 30s; the first retry waits Interval).
+	MaxBackoff time.Duration
+	// Client overrides the HTTP client (default: a dedicated client; the
+	// per-request timeout always comes from Timeout).
+	Client *http.Client
+}
+
+func (c *AgentConfig) withDefaults() AgentConfig {
+	out := *c
+	if out.Interval <= 0 {
+		out.Interval = 2 * time.Second
+	}
+	if out.Timeout <= 0 {
+		out.Timeout = 5 * time.Second
+	}
+	if out.MaxRetryQueue <= 0 {
+		out.MaxRetryQueue = 16
+	}
+	if out.MaxBackoff <= 0 {
+		out.MaxBackoff = 30 * time.Second
+	}
+	if out.Client == nil {
+		out.Client = &http.Client{}
+	}
+	return out
+}
+
+// Agent periodically serializes a registry's snapshots and pushes them to
+// an aggregator. All methods are safe for concurrent use; the push loop
+// runs on one background goroutine between Start and Stop.
+type Agent struct {
+	cfg AgentConfig
+	reg *core.Registry
+
+	seq atomic.Uint64
+
+	// mu guards the retry queue and the backoff schedule.
+	mu       sync.Mutex
+	queue    []*Batch
+	failures int       // consecutive failed flushes
+	notUntil time.Time // backoff gate: no network attempt before this
+
+	pushes     atomic.Int64
+	pushErrors atomic.Int64
+	retries    atomic.Int64
+	dropped    atomic.Int64
+	sentBytes  atomic.Int64
+
+	lastErr atomic.Pointer[string]
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+	stop      chan struct{}
+	done      chan struct{}
+
+	// rng drives backoff jitter; guarded by mu.
+	rng *rand.Rand
+}
+
+// NewAgent builds an agent over the registry. It does not start pushing;
+// call Start, or PushNow for a synchronous push.
+func NewAgent(reg *core.Registry, cfg AgentConfig) *Agent {
+	if cfg.Host == "" {
+		panic("fleet: AgentConfig.Host is required")
+	}
+	return &Agent{
+		cfg:  cfg.withDefaults(),
+		reg:  reg,
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// Host returns the agent's fleet identity.
+func (a *Agent) Host() string { return a.cfg.Host }
+
+// Start launches the push loop. Stop ends it; Start after Stop is a no-op.
+func (a *Agent) Start() {
+	a.startOnce.Do(func() {
+		go a.run()
+	})
+}
+
+// Stop ends the push loop and waits for it to exit. Safe to call without
+// Start (the loop goroutine is then never created and Stop returns at
+// once) and safe to call twice.
+func (a *Agent) Stop() {
+	a.stopOnce.Do(func() { close(a.stop) })
+	a.startOnce.Do(func() { close(a.done) })
+	<-a.done
+}
+
+func (a *Agent) run() {
+	defer close(a.done)
+	t := time.NewTicker(a.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.enqueue(a.buildBatch())
+			a.flush(time.Now())
+		}
+	}
+}
+
+// PushNow builds a batch from the registry and flushes the queue
+// synchronously, ignoring the backoff gate — the deterministic push used
+// by tests and by operators forcing a final flush. It returns the first
+// flush error, if any.
+func (a *Agent) PushNow() error {
+	a.enqueue(a.buildBatch())
+	a.mu.Lock()
+	a.notUntil = time.Time{}
+	a.mu.Unlock()
+	return a.flush(time.Now())
+}
+
+// buildBatch snapshots the registry into a sequenced batch.
+func (a *Agent) buildBatch() *Batch {
+	return &Batch{
+		Host:         a.cfg.Host,
+		Seq:          a.seq.Add(1),
+		SentUnixNano: time.Now().UnixNano(),
+		Snapshots:    a.reg.Snapshots(),
+	}
+}
+
+// enqueue appends b to the retry queue, dropping the oldest batch when the
+// queue is full.
+func (a *Agent) enqueue(b *Batch) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.queue) >= a.cfg.MaxRetryQueue {
+		a.queue = a.queue[1:]
+		a.dropped.Add(1)
+	}
+	a.queue = append(a.queue, b)
+}
+
+// flush pushes queued batches oldest-first until the queue drains or a
+// push fails. A failure schedules the next attempt with exponential
+// backoff plus ±20% jitter; batches queued in the meantime wait for it.
+func (a *Agent) flush(now time.Time) error {
+	if a.cfg.Endpoint == "" {
+		return nil
+	}
+	a.mu.Lock()
+	if now.Before(a.notUntil) {
+		a.mu.Unlock()
+		return nil
+	}
+	a.mu.Unlock()
+	for {
+		a.mu.Lock()
+		if len(a.queue) == 0 {
+			a.failures = 0
+			a.notUntil = time.Time{}
+			a.mu.Unlock()
+			return nil
+		}
+		b := a.queue[0]
+		if b.Seq < a.seq.Load() {
+			a.retries.Add(1)
+		}
+		a.mu.Unlock()
+
+		err := a.push(b)
+		a.mu.Lock()
+		if err != nil {
+			a.failures++
+			backoff := a.cfg.Interval << (a.failures - 1)
+			if backoff > a.cfg.MaxBackoff || backoff <= 0 {
+				backoff = a.cfg.MaxBackoff
+			}
+			// Jitter by ±20% so a fleet of agents that failed together
+			// does not retry together.
+			jitter := time.Duration(a.rng.Int63n(int64(backoff)/5+1)) - backoff/10
+			a.notUntil = now.Add(backoff + jitter)
+			a.mu.Unlock()
+			a.pushErrors.Add(1)
+			msg := err.Error()
+			a.lastErr.Store(&msg)
+			return err
+		}
+		// Drop this batch and every older one still queued (cumulative
+		// batches: a newer delivery supersedes all earlier state).
+		rest := a.queue[:0]
+		for _, q := range a.queue {
+			if q.Seq > b.Seq {
+				rest = append(rest, q)
+			}
+		}
+		a.queue = rest
+		a.failures = 0
+		a.mu.Unlock()
+		a.pushes.Add(1)
+	}
+}
+
+// push sends one batch with the per-request timeout.
+func (a *Agent) push(b *Batch) error {
+	body, err := EncodeBatchBytes(b)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequest(http.MethodPost, a.cfg.Endpoint, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", ContentType)
+	ctx, cancel := contextWithTimeout(a.cfg.Timeout)
+	defer cancel()
+	resp, err := a.cfg.Client.Do(req.WithContext(ctx))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: aggregator returned %s", resp.Status)
+	}
+	a.sentBytes.Add(int64(len(body)))
+	return nil
+}
+
+// PullHandler returns an http.Handler serving the agent's current state as
+// one frame — the scrape side of the protocol. GET only.
+func (a *Agent) PullHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", ContentType)
+		if r.Method == http.MethodHead {
+			return
+		}
+		EncodeBatch(w, a.buildBatch())
+	})
+}
+
+// AgentStats is a point-in-time copy of the agent's counters.
+type AgentStats struct {
+	// Pushes counts batches delivered; Errors counts failed delivery
+	// attempts; Retries counts deliveries of batches older than the
+	// newest; Dropped counts batches evicted from the full retry queue.
+	Pushes, Errors, Retries, Dropped int64
+	// SentBytes totals the wire bytes of delivered batches.
+	SentBytes int64
+	// QueueLen is the current retry-queue depth and Failures the current
+	// consecutive-failure count driving backoff.
+	QueueLen, Failures int
+	// LastError is the most recent push error ("" when none yet).
+	LastError string
+}
+
+// Stats returns the agent's counters.
+func (a *Agent) Stats() AgentStats {
+	a.mu.Lock()
+	qlen, failures := len(a.queue), a.failures
+	a.mu.Unlock()
+	s := AgentStats{
+		Pushes:    a.pushes.Load(),
+		Errors:    a.pushErrors.Load(),
+		Retries:   a.retries.Load(),
+		Dropped:   a.dropped.Load(),
+		SentBytes: a.sentBytes.Load(),
+		QueueLen:  qlen,
+		Failures:  failures,
+	}
+	if msg := a.lastErr.Load(); msg != nil {
+		s.LastError = *msg
+	}
+	return s
+}

@@ -1,0 +1,207 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// aggServer wraps an Aggregator in an httptest server, counting requests
+// and non-200 responses.
+type aggServer struct {
+	agg      *Aggregator
+	srv      *httptest.Server
+	requests atomic.Int64
+	failures atomic.Int64
+	// refuse, while set, makes the server answer 503 without ingesting.
+	refuse atomic.Bool
+}
+
+func newAggServer(t *testing.T, cfg AggregatorConfig) *aggServer {
+	t.Helper()
+	as := &aggServer{agg: NewAggregator(cfg)}
+	as.srv = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		as.requests.Add(1)
+		if as.refuse.Load() {
+			as.failures.Add(1)
+			http.Error(w, "refused", http.StatusServiceUnavailable)
+			return
+		}
+		rec := httptest.NewRecorder()
+		as.agg.ServeHTTP(rec, r)
+		if rec.Code != http.StatusOK {
+			as.failures.Add(1)
+		}
+		for k, v := range rec.Header() {
+			w.Header()[k] = v
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(rec.Body.Bytes())
+	}))
+	t.Cleanup(as.srv.Close)
+	return as
+}
+
+func (as *aggServer) pushURL() string { return as.srv.URL + "/fleet/push" }
+
+func TestAgentPushDelivers(t *testing.T) {
+	as := newAggServer(t, AggregatorConfig{})
+	reg := makeRegistry(1, 2, 1, 300)
+	a := NewAgent(reg, AgentConfig{Host: "esx-a", Endpoint: as.pushURL()})
+	if err := a.PushNow(); err != nil {
+		t.Fatal(err)
+	}
+	hosts := as.agg.Hosts()
+	if len(hosts) != 1 || hosts[0].Host != "esx-a" || hosts[0].Seq != 1 || hosts[0].Snapshots != 2 {
+		t.Fatalf("aggregator hosts after push: %+v", hosts)
+	}
+	if s := a.Stats(); s.Pushes != 1 || s.Errors != 0 || s.QueueLen != 0 || s.SentBytes == 0 {
+		t.Errorf("agent stats: %+v", s)
+	}
+	// The merged view equals the registry's own aggregate, bin for bin.
+	want := reg.HostSnapshot()
+	if got := as.agg.ClusterSnapshot(false); !sameSnapshot(got, want) {
+		t.Error("cluster snapshot diverged from the pushing registry")
+	}
+}
+
+func TestAgentRetryQueueBoundedWithDropCounters(t *testing.T) {
+	as := newAggServer(t, AggregatorConfig{})
+	as.refuse.Store(true)
+	reg := makeRegistry(2, 1, 1, 100)
+	a := NewAgent(reg, AgentConfig{
+		Host: "esx-b", Endpoint: as.pushURL(), MaxRetryQueue: 4,
+	})
+	for i := 0; i < 10; i++ {
+		if err := a.PushNow(); err == nil {
+			t.Fatal("push succeeded against a refusing aggregator")
+		}
+	}
+	st := a.Stats()
+	if st.QueueLen > 4 {
+		t.Errorf("retry queue grew to %d, limit 4", st.QueueLen)
+	}
+	if st.Dropped != 6 {
+		t.Errorf("dropped = %d, want 6 (10 batches, queue of 4)", st.Dropped)
+	}
+	if st.Errors != 10 || st.Pushes != 0 {
+		t.Errorf("errors/pushes = %d/%d, want 10/0", st.Errors, st.Pushes)
+	}
+	if st.LastError == "" || st.Failures == 0 {
+		t.Errorf("failure state not recorded: %+v", st)
+	}
+
+	// Recovery: the queue drains oldest-first, newest state wins, and the
+	// aggregator lands on the newest sequence.
+	as.refuse.Store(false)
+	if err := a.PushNow(); err != nil {
+		t.Fatal(err)
+	}
+	st = a.Stats()
+	if st.QueueLen != 0 || st.Failures != 0 {
+		t.Errorf("queue not drained after recovery: %+v", st)
+	}
+	if st.Retries == 0 {
+		t.Error("draining old batches did not count as retries")
+	}
+	hosts := as.agg.Hosts()
+	if len(hosts) != 1 || hosts[0].Seq != 11 {
+		t.Fatalf("aggregator should hold newest seq 11: %+v", hosts)
+	}
+}
+
+func TestAgentBackoffGatesTickPushes(t *testing.T) {
+	as := newAggServer(t, AggregatorConfig{})
+	as.refuse.Store(true)
+	reg := makeRegistry(3, 1, 1, 50)
+	a := NewAgent(reg, AgentConfig{
+		Host: "esx-c", Endpoint: as.pushURL(),
+		Interval: time.Minute, MaxBackoff: time.Hour,
+	})
+	now := time.Now()
+	a.enqueue(a.buildBatch())
+	if err := a.flush(now); err == nil {
+		t.Fatal("flush against refusing server should fail")
+	}
+	before := as.requests.Load()
+	// Within the backoff window the flush must not touch the network.
+	if err := a.flush(now.Add(time.Second)); err != nil {
+		t.Fatalf("gated flush returned error: %v", err)
+	}
+	if got := as.requests.Load(); got != before {
+		t.Errorf("backoff gate leaked a request: %d -> %d", before, got)
+	}
+	// Far past any plausible backoff the agent tries again.
+	if err := a.flush(now.Add(24 * time.Hour)); err == nil {
+		t.Fatal("expected the retry to fail against the refusing server")
+	}
+	if got := as.requests.Load(); got != before+1 {
+		t.Errorf("retry after backoff did not reach the server")
+	}
+}
+
+func TestAgentStartStopLifecycle(t *testing.T) {
+	as := newAggServer(t, AggregatorConfig{})
+	reg := makeRegistry(4, 1, 1, 200)
+	a := NewAgent(reg, AgentConfig{
+		Host: "esx-d", Endpoint: as.pushURL(), Interval: 5 * time.Millisecond,
+	})
+	a.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for a.Stats().Pushes < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	a.Stop()
+	a.Stop() // idempotent
+	if got := a.Stats().Pushes; got < 2 {
+		t.Fatalf("push loop delivered %d batches, want >= 2", got)
+	}
+	settled := as.requests.Load()
+	time.Sleep(25 * time.Millisecond)
+	if got := as.requests.Load(); got != settled {
+		t.Errorf("pushes continued after Stop: %d -> %d", settled, got)
+	}
+
+	// Stop without Start must not hang.
+	idle := NewAgent(reg, AgentConfig{Host: "esx-idle", Endpoint: as.pushURL()})
+	done := make(chan struct{})
+	go func() { idle.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(time.Second):
+		t.Fatal("Stop without Start hung")
+	}
+}
+
+func TestAgentPullHandler(t *testing.T) {
+	reg := makeRegistry(5, 1, 2, 150)
+	a := NewAgent(reg, AgentConfig{Host: "esx-e"})
+	srv := httptest.NewServer(a.PullHandler())
+	defer srv.Close()
+
+	agg := NewAggregator(AggregatorConfig{})
+	agg.Watch("esx-e", srv.URL)
+	agg.Watch("esx-gone", "http://127.0.0.1:1/nope")
+	errs := agg.PullAll()
+	if len(errs) != 1 || errs["esx-gone"] == nil {
+		t.Fatalf("pull errors: %v", errs)
+	}
+	hosts := agg.Hosts()
+	if len(hosts) != 1 || hosts[0].Host != "esx-e" || hosts[0].Source != "pull" || hosts[0].Snapshots != 2 {
+		t.Fatalf("hosts after pull: %+v", hosts)
+	}
+	if agg.Stats().PullErrors != 1 {
+		t.Errorf("pull errors counter = %d, want 1", agg.Stats().PullErrors)
+	}
+	// POST to the pull endpoint is a method error.
+	resp, err := http.Post(srv.URL, ContentType, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed || resp.Header.Get("Allow") == "" {
+		t.Errorf("POST to pull handler: %d, Allow=%q", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+}

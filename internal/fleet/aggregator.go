@@ -1,0 +1,438 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/telemetry"
+)
+
+// AggregatorConfig tunes a fleet aggregator. Zero values take the
+// documented defaults.
+type AggregatorConfig struct {
+	// StaleAfter is the liveness horizon: a host whose newest batch is
+	// older than this drops out of the merged views and is reported stale
+	// (default 10s; set it to a small multiple of the agents' push
+	// interval).
+	StaleAfter time.Duration
+	// PullTimeout bounds each scatter-gather pull request (default 2s).
+	PullTimeout time.Duration
+	// Client overrides the HTTP client used for pulls.
+	Client *http.Client
+}
+
+func (c *AggregatorConfig) withDefaults() AggregatorConfig {
+	out := *c
+	if out.StaleAfter <= 0 {
+		out.StaleAfter = 10 * time.Second
+	}
+	if out.PullTimeout <= 0 {
+		out.PullTimeout = 2 * time.Second
+	}
+	if out.Client == nil {
+		out.Client = &http.Client{}
+	}
+	return out
+}
+
+// hostState is the aggregator's record of one host.
+type hostState struct {
+	host         string
+	source       string // "push" or "pull"
+	seq          uint64
+	sentUnixNano int64
+	lastSeen     time.Time
+	batches      int64
+	snaps        []*core.Snapshot
+}
+
+// Aggregator accepts pushed batches, scatter-gathers pulls from registered
+// agents, tracks per-host liveness, and merges per-host snapshots into
+// per-VM and cluster-wide histograms. All methods are safe for concurrent
+// use: any number of HTTP goroutines can ingest while others read merged
+// views.
+type Aggregator struct {
+	cfg AggregatorConfig
+	// now is the wall clock, injectable for deterministic staleness tests.
+	now func() time.Time
+
+	mu    sync.RWMutex
+	hosts map[string]*hostState
+	pulls map[string]string // host -> pull URL
+
+	batches    atomic.Int64
+	rejected   atomic.Int64
+	pullErrors atomic.Int64
+	recvBytes  atomic.Int64
+}
+
+// NewAggregator builds an empty aggregator.
+func NewAggregator(cfg AggregatorConfig) *Aggregator {
+	return &Aggregator{
+		cfg:   cfg.withDefaults(),
+		now:   time.Now,
+		hosts: make(map[string]*hostState),
+		pulls: make(map[string]string),
+	}
+}
+
+// Ingest records a validated batch as the host's newest state. Batches
+// older than the newest sequence already seen refresh liveness but leave
+// the stored snapshots alone, so a late-arriving retry never rolls a host
+// backwards.
+func (g *Aggregator) Ingest(b *Batch, source string) error {
+	if err := b.Validate(); err != nil {
+		g.rejected.Add(1)
+		return err
+	}
+	now := g.now()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.hosts[b.Host]
+	if st == nil {
+		st = &hostState{host: b.Host}
+		g.hosts[b.Host] = st
+	}
+	st.lastSeen = now
+	st.source = source
+	st.batches++
+	if b.Seq >= st.seq {
+		st.seq = b.Seq
+		st.sentUnixNano = b.SentUnixNano
+		st.snaps = b.Snapshots
+	}
+	g.batches.Add(1)
+	return nil
+}
+
+// Forget removes a host from the aggregator (and its pull registration).
+func (g *Aggregator) Forget(host string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.hosts, host)
+	delete(g.pulls, host)
+}
+
+// Watch registers an agent's pull endpoint (its PullHandler URL) so
+// PullAll scrapes it. Watching a host that also pushes is harmless — the
+// newest sequence wins either way.
+func (g *Aggregator) Watch(host, url string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pulls[host] = url
+}
+
+// PullAll scrapes every watched endpoint concurrently, each bounded by
+// PullTimeout, and ingests what it gets. It returns the per-host errors
+// (empty map when every pull succeeded).
+func (g *Aggregator) PullAll() map[string]error {
+	g.mu.RLock()
+	targets := make(map[string]string, len(g.pulls))
+	for h, u := range g.pulls {
+		targets[h] = u
+	}
+	g.mu.RUnlock()
+
+	var (
+		wg   sync.WaitGroup
+		errs = make(map[string]error)
+		emu  sync.Mutex
+	)
+	for host, url := range targets {
+		wg.Add(1)
+		go func(host, url string) {
+			defer wg.Done()
+			if err := g.pullOne(host, url); err != nil {
+				g.pullErrors.Add(1)
+				emu.Lock()
+				errs[host] = err
+				emu.Unlock()
+			}
+		}(host, url)
+	}
+	wg.Wait()
+	return errs
+}
+
+// pullOne scrapes one agent and ingests the batch.
+func (g *Aggregator) pullOne(host, url string) error {
+	ctx, cancel := contextWithTimeout(g.cfg.PullTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("fleet: pull %s returned %s", host, resp.Status)
+	}
+	b, err := DecodeBatch(resp.Body)
+	if err != nil {
+		return err
+	}
+	g.recvBytes.Add(resp.ContentLength)
+	if b.Host == "" {
+		b.Host = host
+	}
+	return g.Ingest(b, "pull")
+}
+
+// HostStatus is one host's liveness record.
+type HostStatus struct {
+	Host string `json:"host"`
+	// Source is "push" or "pull" — how the newest batch arrived.
+	Source string `json:"source"`
+	// Seq is the newest batch sequence; Batches counts everything
+	// ingested, retries included.
+	Seq     uint64 `json:"seq"`
+	Batches int64  `json:"batches"`
+	// Snapshots is the number of virtual disks in the newest batch.
+	Snapshots int `json:"snapshots"`
+	// LastSeenUnixNano and AgeSeconds locate the newest batch in time;
+	// Stale means the age exceeded the liveness horizon and the host is
+	// excluded from merged views.
+	LastSeenUnixNano int64   `json:"last_seen_unix_nano"`
+	AgeSeconds       float64 `json:"age_seconds"`
+	Stale            bool    `json:"stale"`
+}
+
+// Hosts lists every known host sorted by name.
+func (g *Aggregator) Hosts() []HostStatus {
+	now := g.now()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]HostStatus, 0, len(g.hosts))
+	for _, st := range g.hosts {
+		age := now.Sub(st.lastSeen)
+		out = append(out, HostStatus{
+			Host:             st.host,
+			Source:           st.source,
+			Seq:              st.seq,
+			Batches:          st.batches,
+			Snapshots:        len(st.snaps),
+			LastSeenUnixNano: st.lastSeen.UnixNano(),
+			AgeSeconds:       age.Seconds(),
+			Stale:            age > g.cfg.StaleAfter,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
+	return out
+}
+
+// liveSnapshots returns the newest snapshots of every host, skipping stale
+// hosts unless includeStale is set. Snapshots are immutable once ingested
+// and core.Aggregate copies before merging, so sharing them out is safe.
+func (g *Aggregator) liveSnapshots(includeStale bool) []*core.Snapshot {
+	now := g.now()
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	var out []*core.Snapshot
+	hosts := make([]string, 0, len(g.hosts))
+	for h := range g.hosts {
+		hosts = append(hosts, h)
+	}
+	sort.Strings(hosts)
+	for _, h := range hosts {
+		st := g.hosts[h]
+		if !includeStale && now.Sub(st.lastSeen) > g.cfg.StaleAfter {
+			continue
+		}
+		out = append(out, st.snaps...)
+	}
+	return out
+}
+
+// ClusterSnapshot merges every fresh host's disks into one cluster-wide
+// view (nil when no fresh host has reported).
+func (g *Aggregator) ClusterSnapshot(includeStale bool) *core.Snapshot {
+	return core.Aggregate("cluster", "*", g.liveSnapshots(includeStale)...)
+}
+
+// VMSnapshots merges each VM's disks across all fresh hosts, sorted by VM
+// name — the federated version of Registry.VMSnapshot.
+func (g *Aggregator) VMSnapshots(includeStale bool) []*core.Snapshot {
+	byVM := make(map[string][]*core.Snapshot)
+	for _, s := range g.liveSnapshots(includeStale) {
+		byVM[s.VM] = append(byVM[s.VM], s)
+	}
+	vms := make([]string, 0, len(byVM))
+	for vm := range byVM {
+		vms = append(vms, vm)
+	}
+	sort.Strings(vms)
+	out := make([]*core.Snapshot, 0, len(vms))
+	for _, vm := range vms {
+		out = append(out, core.Aggregate(vm, "*", byVM[vm]...))
+	}
+	return out
+}
+
+// AggregatorStats is a point-in-time copy of the aggregator's counters.
+type AggregatorStats struct {
+	// Hosts and StaleHosts count known and stale hosts; Batches counts
+	// ingested batches, Rejected the batches refused at validation,
+	// PullErrors the failed scatter-gather requests.
+	Hosts, StaleHosts int
+	Batches           int64
+	Rejected          int64
+	PullErrors        int64
+}
+
+// Stats returns the aggregator's counters.
+func (g *Aggregator) Stats() AggregatorStats {
+	var stale int
+	hosts := g.Hosts()
+	for _, h := range hosts {
+		if h.Stale {
+			stale++
+		}
+	}
+	return AggregatorStats{
+		Hosts:      len(hosts),
+		StaleHosts: stale,
+		Batches:    g.batches.Load(),
+		Rejected:   g.rejected.Load(),
+		PullErrors: g.pullErrors.Load(),
+	}
+}
+
+// --- HTTP surface ---
+
+// ServeHTTP serves the aggregator's routes; mount it under /fleet/ (e.g.
+// via httpstats.Options.Fleet):
+//
+//	GET  /fleet/hosts     per-host liveness (JSON)
+//	GET  /fleet/snapshot  merged cluster snapshot; ?vm=NAME for one VM,
+//	                      ?view=vms for every per-VM merge,
+//	                      ?include_stale=1 to merge stale hosts too
+//	POST /fleet/push      one wire frame from an agent
+func (g *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	path := strings.Trim(r.URL.Path, "/")
+	path = strings.TrimPrefix(path, "fleet/")
+	switch path {
+	case "hosts":
+		if r.Method != http.MethodGet {
+			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
+			return
+		}
+		writeFleetJSON(w, g.Hosts())
+	case "snapshot":
+		if r.Method != http.MethodGet {
+			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
+			return
+		}
+		g.serveSnapshot(w, r)
+	case "push":
+		if r.Method != http.MethodPost {
+			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodPost)
+			return
+		}
+		g.servePush(w, r)
+	default:
+		fleetError(w, http.StatusNotFound, "not found")
+	}
+}
+
+func (g *Aggregator) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	includeStale := r.URL.Query().Get("include_stale") == "1"
+	if vm := r.URL.Query().Get("vm"); vm != "" {
+		for _, s := range g.VMSnapshots(includeStale) {
+			if s.VM == vm {
+				writeFleetJSON(w, s)
+				return
+			}
+		}
+		fleetError(w, http.StatusNotFound, "unknown vm")
+		return
+	}
+	if r.URL.Query().Get("view") == "vms" {
+		writeFleetJSON(w, g.VMSnapshots(includeStale))
+		return
+	}
+	s := g.ClusterSnapshot(includeStale)
+	if s == nil {
+		fleetError(w, http.StatusConflict, "no fresh host has reported")
+		return
+	}
+	writeFleetJSON(w, s)
+}
+
+func (g *Aggregator) servePush(w http.ResponseWriter, r *http.Request) {
+	// One frame cannot legitimately exceed its declared limits; bound the
+	// body read accordingly so a hostile sender cannot stream forever.
+	body := http.MaxBytesReader(w, r.Body, 16+maxHeaderLen+maxPayloadLen)
+	b, err := DecodeBatch(body)
+	if err != nil {
+		g.rejected.Add(1)
+		fleetError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := g.Ingest(b, "push"); err != nil {
+		fleetError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	g.recvBytes.Add(r.ContentLength)
+	writeFleetJSON(w, map[string]any{"host": b.Host, "seq": b.Seq, "snapshots": len(b.Snapshots)})
+}
+
+// fleetError mirrors httpstats's JSON error contract.
+func fleetError(w http.ResponseWriter, code int, msg string, allow ...string) {
+	if len(allow) > 0 {
+		w.Header().Set("Allow", strings.Join(allow, ", "))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+func writeFleetJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// --- telemetry integration ---
+
+// FleetHosts implements telemetry.FleetSource: per-host liveness for the
+// fleet_* Prometheus series.
+func (g *Aggregator) FleetHosts() []telemetry.FleetHost {
+	hosts := g.Hosts()
+	out := make([]telemetry.FleetHost, 0, len(hosts))
+	for _, h := range hosts {
+		out = append(out, telemetry.FleetHost{
+			Host:       h.Host,
+			Stale:      h.Stale,
+			AgeSeconds: h.AgeSeconds,
+			Snapshots:  h.Snapshots,
+			Batches:    h.Batches,
+			Seq:        h.Seq,
+		})
+	}
+	return out
+}
+
+// FleetCluster implements telemetry.FleetSource: the cluster-wide merge of
+// every fresh host (nil when none).
+func (g *Aggregator) FleetCluster() *core.Snapshot {
+	return g.ClusterSnapshot(false)
+}
+
+// FleetVMs implements telemetry.FleetSource: the per-VM merges across all
+// fresh hosts, sorted by VM name.
+func (g *Aggregator) FleetVMs() []*core.Snapshot {
+	return g.VMSnapshots(false)
+}

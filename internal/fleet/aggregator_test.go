@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"vscsistats/internal/core"
+)
+
+// fakeClock gives the aggregator a deterministic wall clock.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+func newTestAggregator(stale time.Duration) (*Aggregator, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	agg := NewAggregator(AggregatorConfig{StaleAfter: stale})
+	agg.now = clk.now
+	return agg, clk
+}
+
+func batchFor(reg *core.Registry, host string, seq uint64) *Batch {
+	return &Batch{Host: host, Seq: seq, SentUnixNano: int64(seq), Snapshots: reg.Snapshots()}
+}
+
+func TestAggregatorSeqNeverRollsBack(t *testing.T) {
+	agg, _ := newTestAggregator(time.Minute)
+	newer := makeRegistry(1, 1, 1, 400)
+	older := makeRegistry(1, 1, 1, 100)
+
+	if err := agg.Ingest(batchFor(newer, "esx-a", 5), "push"); err != nil {
+		t.Fatal(err)
+	}
+	// A late retry of an older batch refreshes liveness but must not
+	// replace the newer snapshots.
+	if err := agg.Ingest(batchFor(older, "esx-a", 3), "push"); err != nil {
+		t.Fatal(err)
+	}
+	hosts := agg.Hosts()
+	if len(hosts) != 1 || hosts[0].Seq != 5 || hosts[0].Batches != 2 {
+		t.Fatalf("hosts after late retry: %+v", hosts)
+	}
+	if got, want := agg.ClusterSnapshot(false), newer.HostSnapshot(); !sameSnapshot(got, want) {
+		t.Error("late retry rolled host state back to the older batch")
+	}
+	// Equal sequence is a refresh, not a rollback.
+	if err := agg.Ingest(batchFor(older, "esx-a", 5), "push"); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := agg.ClusterSnapshot(false), older.HostSnapshot(); !sameSnapshot(got, want) {
+		t.Error("equal-seq batch did not refresh the stored snapshots")
+	}
+}
+
+func TestAggregatorStalenessWithInjectedClock(t *testing.T) {
+	agg, clk := newTestAggregator(10 * time.Second)
+	regA := makeRegistry(1, 1, 1, 200)
+	regB := makeRegistry(2, 1, 1, 300)
+	agg.Ingest(batchFor(regA, "esx-a", 1), "push")
+	clk.advance(7 * time.Second)
+	agg.Ingest(batchFor(regB, "esx-b", 1), "push")
+
+	hosts := agg.Hosts()
+	if hosts[0].Stale || hosts[1].Stale {
+		t.Fatalf("nothing should be stale yet: %+v", hosts)
+	}
+	both := core.Aggregate("cluster", "*", append(regA.Snapshots(), regB.Snapshots()...)...)
+	if !sameSnapshot(agg.ClusterSnapshot(false), both) {
+		t.Fatal("fresh cluster view is not the sum of both hosts")
+	}
+
+	// 7+4 = 11s > 10s: esx-a ages out, esx-b (4s old) stays.
+	clk.advance(4 * time.Second)
+	hosts = agg.Hosts()
+	if !hosts[0].Stale || hosts[1].Stale {
+		t.Fatalf("expected only esx-a stale: %+v", hosts)
+	}
+	if st := agg.Stats(); st.Hosts != 2 || st.StaleHosts != 1 {
+		t.Errorf("stats: %+v", st)
+	}
+	if !sameSnapshot(agg.ClusterSnapshot(false), regB.HostSnapshot()) {
+		t.Error("stale host still contributes to the merged view")
+	}
+	if !sameSnapshot(agg.ClusterSnapshot(true), both) {
+		t.Error("include_stale view lost the stale host")
+	}
+
+	// A fresh batch revives the host.
+	agg.Ingest(batchFor(regA, "esx-a", 2), "push")
+	if hosts = agg.Hosts(); hosts[0].Stale {
+		t.Errorf("host still stale after a fresh batch: %+v", hosts[0])
+	}
+}
+
+func TestAggregatorVMSnapshotsMergeAcrossHosts(t *testing.T) {
+	agg, _ := newTestAggregator(time.Minute)
+	// Two hosts run disks of the same VMs (vmb0, vmb1): the per-VM view
+	// must merge across hosts, exactly like one registry holding them all.
+	regA := makeRegistry(1, 2, 2, 200)
+	regB := makeRegistry(1, 2, 2, 350)
+	agg.Ingest(batchFor(regA, "esx-a", 1), "push")
+	agg.Ingest(batchFor(regB, "esx-b", 1), "push")
+
+	got := agg.VMSnapshots(false)
+	if len(got) != 2 {
+		t.Fatalf("per-VM views: %d, want 2", len(got))
+	}
+	all := append(regA.Snapshots(), regB.Snapshots()...)
+	for _, vs := range got {
+		var mine []*core.Snapshot
+		for _, s := range all {
+			if s.VM == vs.VM {
+				mine = append(mine, s)
+			}
+		}
+		want := core.Aggregate(vs.VM, "*", mine...)
+		if !sameSnapshot(vs, want) {
+			t.Errorf("per-VM merge for %s not bin-exact", vs.VM)
+		}
+	}
+}
+
+func TestAggregatorHTTPSurface(t *testing.T) {
+	agg, clk := newTestAggregator(10 * time.Second)
+	reg := makeRegistry(1, 2, 1, 250)
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, []byte) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		buf.ReadFrom(resp.Body)
+		return resp, buf.Bytes()
+	}
+
+	// Before any host reports, the cluster snapshot is a 409, not a panic
+	// or an empty object.
+	resp, _ := get("/fleet/snapshot")
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("snapshot with no hosts: %d, want 409", resp.StatusCode)
+	}
+
+	// Push a frame the way an agent would.
+	frame, err := EncodeBatchBytes(batchFor(reg, "esx-a", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp, err := http.Post(srv.URL+"/fleet/push", ContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusOK {
+		t.Fatalf("push: %d", presp.StatusCode)
+	}
+
+	resp, body := get("/fleet/hosts")
+	if resp.StatusCode != http.StatusOK || resp.Header.Get("Content-Type") != "application/json" {
+		t.Fatalf("hosts: %d %s", resp.StatusCode, resp.Header.Get("Content-Type"))
+	}
+	var hosts []HostStatus
+	if err := json.Unmarshal(body, &hosts); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts) != 1 || hosts[0].Host != "esx-a" || hosts[0].Source != "push" || hosts[0].Stale {
+		t.Fatalf("hosts body: %+v", hosts)
+	}
+
+	resp, body = get("/fleet/snapshot")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("snapshot: %d", resp.StatusCode)
+	}
+	var snap core.Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if want := reg.HostSnapshot(); !sameSnapshot(&snap, want) {
+		t.Error("served cluster snapshot not bin-exact")
+	}
+
+	// Per-VM views and the single-VM filter.
+	resp, body = get("/fleet/snapshot?view=vms")
+	var vms []core.Snapshot
+	if err := json.Unmarshal(body, &vms); err != nil {
+		t.Fatal(err)
+	}
+	if len(vms) != 2 {
+		t.Fatalf("view=vms returned %d VMs, want 2", len(vms))
+	}
+	resp, body = get("/fleet/snapshot?vm=" + vms[0].VM)
+	var one core.Snapshot
+	if err := json.Unmarshal(body, &one); err != nil {
+		t.Fatal(err)
+	}
+	if !sameSnapshot(&one, &vms[0]) {
+		t.Error("?vm= filter diverged from view=vms")
+	}
+	if resp, _ = get("/fleet/snapshot?vm=no-such-vm"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown vm: %d, want 404", resp.StatusCode)
+	}
+
+	// Staleness over HTTP: age the host out, 409 again, then
+	// include_stale=1 brings it back.
+	clk.advance(11 * time.Second)
+	if resp, _ = get("/fleet/snapshot"); resp.StatusCode != http.StatusConflict {
+		t.Errorf("all-stale snapshot: %d, want 409", resp.StatusCode)
+	}
+	resp, body = get("/fleet/snapshot?include_stale=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("include_stale snapshot: %d", resp.StatusCode)
+	}
+
+	// Route and method errors.
+	if resp, _ = get("/fleet/nope"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown route: %d", resp.StatusCode)
+	}
+	presp, err = http.Post(srv.URL+"/fleet/hosts", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusMethodNotAllowed || presp.Header.Get("Allow") != http.MethodGet {
+		t.Errorf("POST hosts: %d Allow=%q", presp.StatusCode, presp.Header.Get("Allow"))
+	}
+	gresp, err := http.Get(srv.URL + "/fleet/push")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gresp.Body.Close()
+	if gresp.StatusCode != http.StatusMethodNotAllowed || gresp.Header.Get("Allow") != http.MethodPost {
+		t.Errorf("GET push: %d Allow=%q", gresp.StatusCode, gresp.Header.Get("Allow"))
+	}
+
+	// Garbage pushes are 400s with the rejected counter bumped, and they
+	// never disturb the stored state.
+	before := agg.Stats()
+	presp, err = http.Post(srv.URL+"/fleet/push", ContentType, strings.NewReader("not a frame"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage push: %d, want 400", presp.StatusCode)
+	}
+	bad := batchFor(reg, "", 2) // valid frame, invalid batch (no host)
+	frame, _ = EncodeBatchBytes(bad)
+	presp, err = http.Post(srv.URL+"/fleet/push", ContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid batch push: %d, want 400", presp.StatusCode)
+	}
+	after := agg.Stats()
+	if after.Rejected != before.Rejected+2 {
+		t.Errorf("rejected counter: %d -> %d, want +2", before.Rejected, after.Rejected)
+	}
+	if after.Hosts != before.Hosts {
+		t.Errorf("rejected pushes changed the host set: %d -> %d", before.Hosts, after.Hosts)
+	}
+}
+
+func TestAggregatorForget(t *testing.T) {
+	agg, _ := newTestAggregator(time.Minute)
+	reg := makeRegistry(1, 1, 1, 50)
+	agg.Ingest(batchFor(reg, "esx-a", 1), "push")
+	agg.Watch("esx-a", "http://127.0.0.1:1/")
+	agg.Forget("esx-a")
+	if len(agg.Hosts()) != 0 {
+		t.Error("Forget left the host behind")
+	}
+	if errs := agg.PullAll(); len(errs) != 0 {
+		t.Errorf("Forget left the pull registration behind: %v", errs)
+	}
+}

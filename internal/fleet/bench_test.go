@@ -1,0 +1,50 @@
+package fleet
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkFleetMerge measures the cluster merge over a populated
+// aggregator: 8 hosts × 4 VMs × 2 disks = 64 snapshots folded into one.
+func BenchmarkFleetMerge(b *testing.B) {
+	agg := NewAggregator(AggregatorConfig{StaleAfter: time.Hour})
+	for h := 0; h < 8; h++ {
+		reg := makeRegistry(h, 4, 2, 200)
+		if err := agg.Ingest(&Batch{
+			Host: fmt.Sprintf("esx-%02d", h), Seq: 1, Snapshots: reg.Snapshots(),
+		}, "push"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := agg.ClusterSnapshot(false); s == nil {
+			b.Fatal("nil cluster snapshot")
+		}
+	}
+}
+
+// BenchmarkFleetEncodeDecode measures one wire round trip of a realistic
+// batch (4 VMs × 2 disks).
+func BenchmarkFleetEncodeDecode(b *testing.B) {
+	reg := makeRegistry(1, 4, 2, 200)
+	batch := &Batch{Host: "esx-01", Seq: 1, Snapshots: reg.Snapshots()}
+	data, err := EncodeBatchBytes(batch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := EncodeBatchBytes(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := DecodeBatch(bytes.NewReader(out)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

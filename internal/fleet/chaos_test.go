@@ -1,0 +1,226 @@
+package fleet
+
+import (
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"vscsistats/internal/core"
+)
+
+// TestFleetChaosKillOneAgent is the acceptance test for the fleet design:
+// four agents push concurrently into one aggregator while readers poll the
+// merged views; one agent is killed mid-run. The aggregator must never
+// return a request failure, the dead host must go stale within one push
+// interval past the horizon, and the merged cluster histogram must equal —
+// bin for bin — the sum of the three survivors' final snapshots. Run under
+// -race in CI.
+func TestFleetChaosKillOneAgent(t *testing.T) {
+	const (
+		numAgents    = 4
+		pushInterval = 10 * time.Millisecond
+		staleAfter   = 50 * time.Millisecond
+	)
+	as := newAggServer(t, AggregatorConfig{StaleAfter: staleAfter})
+
+	// Each "host" keeps generating traffic for the whole run, agents
+	// snapshotting and pushing underneath.
+	type host struct {
+		reg    *core.Registry
+		cols   []*core.Collector
+		agent  *Agent
+		frozen chan struct{}
+	}
+	hosts := make([]*host, numAgents)
+	var feeders sync.WaitGroup
+	for i := range hosts {
+		reg := core.NewRegistry()
+		var cols []*core.Collector
+		for d := 0; d < 2; d++ {
+			col := core.NewCollector(vmName(i, 0), diskName(d))
+			col.Enable()
+			reg.Register(col)
+			cols = append(cols, col)
+		}
+		h := &host{
+			reg: reg, cols: cols, frozen: make(chan struct{}),
+			agent: NewAgent(reg, AgentConfig{
+				Host:     "esx-" + string(rune('a'+i)),
+				Endpoint: as.pushURL(),
+				Interval: pushInterval,
+			}),
+		}
+		hosts[i] = h
+		for d, col := range cols {
+			feeders.Add(1)
+			go func(col *core.Collector, seed int) {
+				defer feeders.Done()
+				for n := 0; ; n++ {
+					select {
+					case <-h.frozen:
+						return
+					default:
+					}
+					feed(col, seed+n, 20)
+					time.Sleep(time.Millisecond) // don't starve the scheduler under -race
+				}
+			}(col, i*100+d*10)
+		}
+		h.agent.Start()
+	}
+
+	// Concurrent readers hammer the merged views while all this runs —
+	// under -race this is the proof that ingest and merge can overlap.
+	readStop := make(chan struct{})
+	var readers sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-readStop:
+					return
+				default:
+				}
+				as.agg.ClusterSnapshot(false)
+				as.agg.VMSnapshots(false)
+				as.agg.Hosts()
+				resp, err := http.Get(as.srv.URL + "/fleet/hosts")
+				if err == nil {
+					resp.Body.Close()
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	// Let everyone report, then kill one agent mid-run.
+	waitFor(t, time.Second, func() bool { return len(as.agg.Hosts()) == numAgents })
+	victim := hosts[1]
+	victim.agent.Stop()
+	killedAt := time.Now()
+
+	// The dead host must be reported stale within one push interval past
+	// the staleness horizon.
+	waitFor(t, staleAfter+5*pushInterval, func() bool {
+		for _, h := range as.agg.Hosts() {
+			if h.Host == victim.agent.Host() {
+				return h.Stale
+			}
+		}
+		return false
+	})
+	if elapsed := time.Since(killedAt); elapsed > staleAfter+pushInterval+50*time.Millisecond {
+		t.Errorf("host went stale after %v, want within %v", elapsed, staleAfter+pushInterval)
+	}
+
+	// Wind everything down — traffic, readers, push loops — so the final
+	// flushes are the last word.
+	var survivors []*core.Snapshot
+	for _, h := range hosts {
+		close(h.frozen)
+	}
+	feeders.Wait()
+	close(readStop)
+	readers.Wait()
+	for _, h := range hosts {
+		if h != victim {
+			h.agent.Stop()
+		}
+	}
+	// Flush each survivor one final time, then freeze the aggregator's
+	// clock: the exactness assertion below must not race the (deliberately
+	// tiny) staleness horizon while the test does its bookkeeping.
+	for _, h := range hosts {
+		if h == victim {
+			continue
+		}
+		if err := h.agent.PushNow(); err != nil {
+			t.Fatalf("final push from %s: %v", h.agent.Host(), err)
+		}
+		survivors = append(survivors, h.reg.Snapshots()...)
+	}
+	frozen := time.Now()
+	as.agg.now = func() time.Time { return frozen }
+
+	// Zero aggregator request failures across the whole run.
+	if fails := as.failures.Load(); fails != 0 {
+		t.Errorf("aggregator returned %d non-200 responses during the run", fails)
+	}
+	if rej := as.agg.Stats().Rejected; rej != 0 {
+		t.Errorf("aggregator rejected %d batches from healthy agents", rej)
+	}
+
+	// The merged cluster histogram equals the sum of the three survivors,
+	// bin for bin, across every metric and class.
+	want := core.Aggregate("cluster", "*", survivors...)
+	got := as.agg.ClusterSnapshot(false)
+	if got == nil {
+		t.Fatal("no fresh cluster snapshot after the kill")
+	}
+	if !sameSnapshot(got, want) {
+		t.Errorf("cluster merge not bin-exact vs the %d survivors (got %d commands, want %d)",
+			numAgents-1, got.Commands, want.Commands)
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached within %v", d)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFleetChaosHTTPReadersSeeConsistentViews pins down one more property:
+// a reader polling during heavy ingest never observes a half-merged
+// snapshot (Commands must always equal NumReads+NumWrites).
+func TestFleetChaosHTTPReadersSeeConsistentViews(t *testing.T) {
+	as := newAggServer(t, AggregatorConfig{StaleAfter: time.Minute})
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			reg := core.NewRegistry()
+			col := core.NewCollector(vmName(seed, 0), diskName(0))
+			col.Enable()
+			reg.Register(col)
+			a := NewAgent(reg, AgentConfig{
+				Host: "esx-" + string(rune('a'+seed)), Endpoint: as.pushURL(),
+			})
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				feed(col, seed*100+n, 50)
+				if err := a.PushNow(); err != nil {
+					t.Errorf("push: %v", err)
+					return
+				}
+			}
+		}(i)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		s := as.agg.ClusterSnapshot(false)
+		if s == nil {
+			continue
+		}
+		if s.Commands != s.NumReads+s.NumWrites {
+			t.Fatalf("torn snapshot: %d commands vs %d reads + %d writes",
+				s.Commands, s.NumReads, s.NumWrites)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

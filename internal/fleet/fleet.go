@@ -1,0 +1,55 @@
+// Package fleet federates the characterization service across hosts. The
+// paper instruments one ESX server at a time, but its histograms are
+// constant-space and bin-exact under merge — counters add and identical bin
+// layouts add bin-wise — which is exactly the property a multi-host rollup
+// needs: a datacenter-wide seek-distance histogram is the bin-wise sum of
+// every host's, with nothing lost to sampling or re-binning.
+//
+// The package has three parts:
+//
+//   - a versioned, length-prefixed, gzip-framed wire codec (wire.go) that
+//     carries batches of core.Snapshot between processes;
+//   - an Agent that periodically serializes a host's core.Registry and
+//     pushes it to an aggregator, with per-request timeouts, exponential
+//     backoff with jitter, a bounded retry queue and drop counters — and a
+//     PullHandler so an aggregator can scrape it instead;
+//   - an Aggregator that ingests pushes, scatter-gathers pulls from
+//     registered agents concurrently, tracks per-host liveness/staleness,
+//     and merges per-host snapshots into per-VM and cluster-wide views via
+//     core.Aggregate (bin-exact, all/reads/writes preserved).
+//
+// Failure model: agents and the aggregator are mutually untrusted over an
+// unreliable network. A dead agent simply stops appearing: its last batch
+// ages past the staleness horizon and drops out of the merged views — no
+// aggregator-side error, no partial merge. A dead aggregator costs the
+// agent nothing but a bounded retry queue; when the aggregator returns,
+// queued batches drain oldest-first and the newest state wins (batches are
+// cumulative, so dropping queued ones under pressure loses no information
+// that the next push doesn't carry). Corrupt or adversarial input is
+// rejected at decode (structural limits) and ingest (bin-layout
+// validation) and can never panic the merge path.
+package fleet
+
+import (
+	"context"
+	"time"
+
+	"vscsistats/internal/core"
+)
+
+// ContentType identifies the fleet frame format over HTTP.
+const ContentType = "application/x-vscsistats-fleet"
+
+// contextWithTimeout is context.WithTimeout from a background parent —
+// every fleet request is bounded by its own deadline, not a caller's.
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+// refLayout is a reference snapshot from a fresh collector: the canonical
+// bin layouts every ingested histogram must match for merging to be safe.
+var refLayout = func() *core.Snapshot {
+	c := core.NewCollector("", "")
+	c.Enable()
+	return c.Snapshot()
+}()

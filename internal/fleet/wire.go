@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/histogram"
+)
+
+// The frame layout, all integers big-endian:
+//
+//	offset size field
+//	0      4    magic "VSFB"
+//	4      1    version (>= 1)
+//	5      1    flags (bit 0: payload is gzip-compressed)
+//	6      2    reserved — writers zero, readers ignore
+//	8      4    header length
+//	12     4    payload length
+//	16     ...  header JSON (batchHeader)
+//	...    ...  payload: JSON array of core.Snapshot, gzip-framed
+//
+// Forward compatibility: the header is JSON, so future versions add fields
+// without breaking old readers (unknown fields are ignored both ways), and
+// readers accept any version >= Version as long as the flags are
+// understood — a frame's meaning is carried entirely by magic + flags +
+// header, never by the version number alone. Frames are length-prefixed,
+// so any number of them can be concatenated on one stream and decoded one
+// DecodeBatch call at a time.
+
+// Wire format constants.
+const (
+	// Version is the frame version this package writes.
+	Version = 1
+
+	// flagGzip marks a gzip-compressed payload.
+	flagGzip = 1 << 0
+
+	// knownFlags is the set of flag bits this decoder understands; frames
+	// carrying others are rejected rather than misinterpreted.
+	knownFlags = flagGzip
+
+	// maxHeaderLen and maxPayloadLen bound a frame's declared sizes so a
+	// corrupt or hostile length prefix cannot drive a huge allocation.
+	maxHeaderLen  = 1 << 20
+	maxPayloadLen = 1 << 28
+
+	// maxDecodedLen bounds the decompressed payload (gzip-bomb guard).
+	maxDecodedLen = 1 << 30
+)
+
+var wireMagic = [4]byte{'V', 'S', 'F', 'B'}
+
+// ErrBadFrame wraps every decode failure, so callers can distinguish a
+// malformed frame from transport errors with errors.Is.
+var ErrBadFrame = errors.New("fleet: bad frame")
+
+// Batch is one host's worth of snapshots in flight.
+type Batch struct {
+	// Host identifies the sending host; it is the aggregator's key.
+	Host string `json:"host"`
+	// Seq increases by one per batch built on the sender. The aggregator
+	// keeps only the highest sequence seen, so late retries of older
+	// batches never roll state backwards.
+	Seq uint64 `json:"seq"`
+	// SentUnixNano is the sender's wall clock when the batch was built.
+	SentUnixNano int64 `json:"sent_unix_nano"`
+	// Snapshots is the registry's state, cumulative since enable/reset.
+	Snapshots []*core.Snapshot `json:"-"`
+}
+
+// batchHeader is the frame header; Count duplicates len(Snapshots) so a
+// reader can size-check before decoding the payload.
+type batchHeader struct {
+	Host         string `json:"host"`
+	Seq          uint64 `json:"seq"`
+	SentUnixNano int64  `json:"sent_unix_nano"`
+	Count        int    `json:"count"`
+}
+
+// EncodeBatch writes b to w as one frame.
+func EncodeBatch(w io.Writer, b *Batch) error {
+	header, err := json.Marshal(batchHeader{
+		Host: b.Host, Seq: b.Seq, SentUnixNano: b.SentUnixNano, Count: len(b.Snapshots),
+	})
+	if err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	zw := gzip.NewWriter(&payload)
+	if err := json.NewEncoder(zw).Encode(b.Snapshots); err != nil {
+		return err
+	}
+	if err := zw.Close(); err != nil {
+		return err
+	}
+	if payload.Len() > maxPayloadLen {
+		return fmt.Errorf("fleet: payload %d bytes exceeds frame limit %d", payload.Len(), maxPayloadLen)
+	}
+	var head [16]byte
+	copy(head[0:4], wireMagic[:])
+	head[4] = Version
+	head[5] = flagGzip
+	binary.BigEndian.PutUint32(head[8:12], uint32(len(header)))
+	binary.BigEndian.PutUint32(head[12:16], uint32(payload.Len()))
+	if _, err := w.Write(head[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(header); err != nil {
+		return err
+	}
+	_, err = w.Write(payload.Bytes())
+	return err
+}
+
+// EncodeBatchBytes renders b as one frame in memory.
+func EncodeBatchBytes(b *Batch) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeBatch(&buf, b); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// badFrame builds an ErrBadFrame-wrapped error.
+func badFrame(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrBadFrame, fmt.Sprintf(format, args...))
+}
+
+// DecodeBatch reads exactly one frame from r. It returns io.EOF when r is
+// exhausted before the first byte (a clean end of stream) and an error
+// wrapping ErrBadFrame for any malformed frame; it never panics, whatever
+// the input.
+func DecodeBatch(r io.Reader) (*Batch, error) {
+	var head [16]byte
+	if _, err := io.ReadFull(r, head[:1]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, badFrame("short frame head: %v", err)
+	}
+	if _, err := io.ReadFull(r, head[1:]); err != nil {
+		return nil, badFrame("short frame head: %v", err)
+	}
+	if !bytes.Equal(head[0:4], wireMagic[:]) {
+		return nil, badFrame("bad magic %q", head[0:4])
+	}
+	version, flags := head[4], head[5]
+	if version < 1 {
+		return nil, badFrame("unsupported version %d", version)
+	}
+	if flags&^byte(knownFlags) != 0 {
+		return nil, badFrame("unknown flags %#x", flags)
+	}
+	headerLen := binary.BigEndian.Uint32(head[8:12])
+	payloadLen := binary.BigEndian.Uint32(head[12:16])
+	if headerLen > maxHeaderLen {
+		return nil, badFrame("header length %d exceeds limit %d", headerLen, maxHeaderLen)
+	}
+	if payloadLen > maxPayloadLen {
+		return nil, badFrame("payload length %d exceeds limit %d", payloadLen, maxPayloadLen)
+	}
+	header := make([]byte, headerLen)
+	if _, err := io.ReadFull(r, header); err != nil {
+		return nil, badFrame("short header: %v", err)
+	}
+	var hdr batchHeader
+	if err := json.Unmarshal(header, &hdr); err != nil {
+		return nil, badFrame("header JSON: %v", err)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, badFrame("short payload: %v", err)
+	}
+	body := io.Reader(bytes.NewReader(payload))
+	if flags&flagGzip != 0 {
+		zr, err := gzip.NewReader(body)
+		if err != nil {
+			return nil, badFrame("gzip: %v", err)
+		}
+		defer zr.Close()
+		body = io.LimitReader(zr, maxDecodedLen+1)
+	}
+	decoded, err := io.ReadAll(body)
+	if err != nil {
+		return nil, badFrame("decompress: %v", err)
+	}
+	if len(decoded) > maxDecodedLen {
+		return nil, badFrame("decoded payload exceeds limit %d", maxDecodedLen)
+	}
+	var snaps []*core.Snapshot
+	if err := json.Unmarshal(decoded, &snaps); err != nil {
+		return nil, badFrame("payload JSON: %v", err)
+	}
+	if len(snaps) != hdr.Count {
+		return nil, badFrame("header count %d != payload count %d", hdr.Count, len(snaps))
+	}
+	return &Batch{
+		Host: hdr.Host, Seq: hdr.Seq, SentUnixNano: hdr.SentUnixNano, Snapshots: snaps,
+	}, nil
+}
+
+// Validate checks b is safe to merge: a named host and, per snapshot,
+// every histogram present with the canonical bin layout and a consistent
+// counts length. A batch that passes can be fed to core.Aggregate without
+// any possibility of a layout-mismatch panic. Decode accepts what the
+// frame says; Validate accepts what the merge path requires.
+func (b *Batch) Validate() error {
+	if b.Host == "" {
+		return errors.New("fleet: batch without host name")
+	}
+	for i, s := range b.Snapshots {
+		if s == nil {
+			return fmt.Errorf("fleet: snapshot %d is null", i)
+		}
+		for _, m := range core.Metrics() {
+			classes := []core.Class{core.All, core.Reads, core.Writes}
+			if m == core.MetricSeekWindowed {
+				classes = classes[:1]
+			}
+			for _, cl := range classes {
+				if err := checkLayout(s.Histogram(m, cl), refLayout.Histogram(m, cl)); err != nil {
+					return fmt.Errorf("fleet: snapshot %d (%s/%s) %s[%s]: %w",
+						i, s.VM, s.Disk, m, cl, err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// checkLayout verifies h exists, its counts cover every bin, and its edges
+// equal the reference layout.
+func checkLayout(h, ref *histogram.Snapshot) error {
+	if h == nil {
+		return errors.New("missing histogram")
+	}
+	if len(h.Counts) != len(h.Edges)+1 {
+		return fmt.Errorf("%d counts for %d edges", len(h.Counts), len(h.Edges))
+	}
+	if len(h.Edges) != len(ref.Edges) {
+		return fmt.Errorf("%d edges, want %d", len(h.Edges), len(ref.Edges))
+	}
+	for i := range h.Edges {
+		if h.Edges[i] != ref.Edges[i] {
+			return fmt.Errorf("edge %d is %d, want %d", i, h.Edges[i], ref.Edges[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"vscsistats/internal/core"
+)
+
+// FuzzDecodeBatch asserts the codec's one hard promise: whatever bytes
+// arrive — truncated, bit-flipped, hostile lengths, gzip garbage —
+// DecodeBatch returns an error or a batch, and never panics. When a frame
+// does decode, it must survive a re-encode/re-decode round trip, and
+// Validate must never panic on it either.
+func FuzzDecodeBatch(f *testing.F) {
+	// Seed with real frames at several shapes, plus classic corruptions.
+	for _, seedCfg := range []struct{ vms, disks, n int }{{1, 1, 0}, {1, 1, 50}, {2, 3, 200}} {
+		reg := makeRegistry(1, seedCfg.vms, seedCfg.disks, seedCfg.n)
+		data, err := EncodeBatchBytes(&Batch{Host: "seed", Seq: 1, Snapshots: reg.Snapshots()})
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+		f.Add(data[:len(data)/2])
+		flipped := append([]byte(nil), data...)
+		flipped[len(flipped)/2] ^= 0x55
+		f.Add(flipped)
+	}
+	empty, err := EncodeBatchBytes(&Batch{Host: "empty"})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte("VSFB"))
+	huge := append([]byte(nil), empty...)
+	binary.BigEndian.PutUint32(huge[12:16], 0xffffffff)
+	f.Add(huge)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Validate must be total: error or nil, never a panic, even on
+		// snapshots deserialized from arbitrary JSON.
+		valid := b.Validate() == nil
+		reenc, err := EncodeBatchBytes(b)
+		if err != nil {
+			t.Fatalf("re-encode of decoded batch failed: %v", err)
+		}
+		b2, err := DecodeBatch(bytes.NewReader(reenc))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if b2.Host != b.Host || b2.Seq != b.Seq || len(b2.Snapshots) != len(b.Snapshots) {
+			t.Fatalf("round trip drifted: %q/%d/%d vs %q/%d/%d",
+				b.Host, b.Seq, len(b.Snapshots), b2.Host, b2.Seq, len(b2.Snapshots))
+		}
+		// A batch that validated must merge without panicking.
+		if valid && len(b.Snapshots) > 0 {
+			_ = core.Aggregate("fuzz", "*", b.Snapshots...)
+		}
+	})
+}

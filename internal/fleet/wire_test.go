@@ -1,0 +1,163 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+
+	"vscsistats/internal/core"
+)
+
+func testBatch(t *testing.T, hostSeed int) *Batch {
+	t.Helper()
+	reg := makeRegistry(hostSeed, 2, 2, 500)
+	return &Batch{
+		Host:         "esx-" + string(rune('0'+hostSeed)),
+		Seq:          uint64(hostSeed) + 1,
+		SentUnixNano: 1234567890,
+		Snapshots:    reg.Snapshots(),
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	in := testBatch(t, 1)
+	data, err := EncodeBatchBytes(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBatch(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Host != in.Host || out.Seq != in.Seq || out.SentUnixNano != in.SentUnixNano {
+		t.Errorf("header round-trip: got %q/%d/%d", out.Host, out.Seq, out.SentUnixNano)
+	}
+	if len(out.Snapshots) != len(in.Snapshots) {
+		t.Fatalf("snapshot count %d, want %d", len(out.Snapshots), len(in.Snapshots))
+	}
+	for i := range in.Snapshots {
+		if out.Snapshots[i].VM != in.Snapshots[i].VM || out.Snapshots[i].Disk != in.Snapshots[i].Disk {
+			t.Errorf("snapshot %d identity lost: %s/%s", i, out.Snapshots[i].VM, out.Snapshots[i].Disk)
+		}
+		if !sameSnapshot(out.Snapshots[i], in.Snapshots[i]) {
+			t.Errorf("snapshot %d not bin-exact after round trip", i)
+		}
+	}
+	if err := out.Validate(); err != nil {
+		t.Errorf("decoded batch fails validation: %v", err)
+	}
+}
+
+func TestWireStreamsConcatenatedFrames(t *testing.T) {
+	var buf bytes.Buffer
+	want := []*Batch{testBatch(t, 1), testBatch(t, 2), testBatch(t, 3)}
+	for _, b := range want {
+		if err := EncodeBatch(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; ; i++ {
+		b, err := DecodeBatch(&buf)
+		if err == io.EOF {
+			if i != len(want) {
+				t.Fatalf("stream ended after %d frames, want %d", i, len(want))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if b.Host != want[i].Host {
+			t.Errorf("frame %d host %q, want %q", i, b.Host, want[i].Host)
+		}
+	}
+}
+
+func TestWireRejectsCorruptFrames(t *testing.T) {
+	valid, err := EncodeBatchBytes(testBatch(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Helper()
+		data := mutate(append([]byte(nil), valid...))
+		_, err := DecodeBatch(bytes.NewReader(data))
+		if err == nil {
+			t.Errorf("%s: decoded successfully, want error", name)
+			return
+		}
+		if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("%s: error %v does not wrap ErrBadFrame", name, err)
+		}
+	}
+	corrupt("bad magic", func(d []byte) []byte { d[0] = 'X'; return d })
+	corrupt("version zero", func(d []byte) []byte { d[4] = 0; return d })
+	corrupt("unknown flags", func(d []byte) []byte { d[5] |= 0x80; return d })
+	corrupt("oversize header len", func(d []byte) []byte {
+		binary.BigEndian.PutUint32(d[8:12], maxHeaderLen+1)
+		return d
+	})
+	corrupt("oversize payload len", func(d []byte) []byte {
+		binary.BigEndian.PutUint32(d[12:16], maxPayloadLen+1)
+		return d
+	})
+	corrupt("truncated head", func(d []byte) []byte { return d[:10] })
+	corrupt("truncated header", func(d []byte) []byte { return d[:18] })
+	corrupt("truncated payload", func(d []byte) []byte { return d[:len(d)-5] })
+	corrupt("payload garbage", func(d []byte) []byte {
+		for i := len(d) - 20; i < len(d); i++ {
+			d[i] ^= 0xff
+		}
+		return d
+	})
+	// Reserved bytes, by contrast, must be ignored (forward compat).
+	tolerated := append([]byte(nil), valid...)
+	tolerated[6], tolerated[7] = 0xde, 0xad
+	if _, err := DecodeBatch(bytes.NewReader(tolerated)); err != nil {
+		t.Errorf("reserved bytes rejected: %v", err)
+	}
+	// A higher version with known flags must still decode.
+	future := append([]byte(nil), valid...)
+	future[4] = 9
+	if _, err := DecodeBatch(bytes.NewReader(future)); err != nil {
+		t.Errorf("future version rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsUnsafeBatches(t *testing.T) {
+	good := testBatch(t, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	if err := (&Batch{Snapshots: good.Snapshots}).Validate(); err == nil {
+		t.Error("batch without host accepted")
+	}
+	withNil := &Batch{Host: "h", Snapshots: []*core.Snapshot{nil}}
+	if err := withNil.Validate(); err == nil {
+		t.Error("null snapshot accepted")
+	}
+	// A snapshot with a foreign bin layout must be refused — merging it
+	// would panic inside histogram.Add.
+	mangled := testBatch(t, 2)
+	h := mangled.Snapshots[0].IOLength[core.All]
+	h.Edges = append([]int64(nil), h.Edges...)
+	h.Edges[0]++
+	if err := mangled.Validate(); err == nil {
+		t.Error("mangled bin layout accepted")
+	}
+	// Counts shorter than edges+1 would index out of range in Add.
+	short := testBatch(t, 3)
+	hs := short.Snapshots[0].Latency[core.Reads]
+	hs.Counts = hs.Counts[:len(hs.Counts)-1]
+	if err := short.Validate(); err == nil {
+		t.Error("short counts accepted")
+	}
+	// A missing histogram (nil pointer) must be refused, not dereferenced.
+	missing := testBatch(t, 4)
+	missing.Snapshots[0].SeekWindowed = nil
+	if err := missing.Validate(); err == nil {
+		t.Error("missing histogram accepted")
+	}
+}

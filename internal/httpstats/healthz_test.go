@@ -1,0 +1,104 @@
+package httpstats
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vscsistats/internal/core"
+)
+
+func TestHealthz(t *testing.T) {
+	srv, reg, _ := newServer(t)
+	code, body := get(t, srv.URL+"/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz: %d", code)
+	}
+	var h struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Disks         int     `json:"disks"`
+	}
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz body %q: %v", body, err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status %q, want ok", h.Status)
+	}
+	if h.Disks != len(reg.List()) {
+		t.Errorf("disks %d, want %d", h.Disks, len(reg.List()))
+	}
+	if h.UptimeSeconds < 0 {
+		t.Errorf("negative uptime %f", h.UptimeSeconds)
+	}
+}
+
+func TestHealthzUptimeAdvances(t *testing.T) {
+	h := NewWith(core.NewRegistry(), Options{})
+	h.now = func() time.Time { return h.start.Add(90 * time.Second) }
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var out struct {
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Disks         int     `json:"disks"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.UptimeSeconds != 90 {
+		t.Errorf("uptime %f, want 90", out.UptimeSeconds)
+	}
+	if out.Disks != 0 {
+		t.Errorf("disks %d, want 0 on an empty registry", out.Disks)
+	}
+}
+
+func TestHealthzMethods(t *testing.T) {
+	srv, _, _ := newServer(t)
+	// HEAD answers without a body.
+	req, _ := http.NewRequest(http.MethodHead, srv.URL+"/healthz", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("HEAD /healthz: %d", resp.StatusCode)
+	}
+	// Anything else is a 405 with Allow.
+	resp, err = http.Post(srv.URL+"/healthz", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /healthz: %d", resp.StatusCode)
+	}
+	if allow := resp.Header.Get("Allow"); allow != "GET, HEAD" {
+		t.Errorf("Allow %q, want %q", allow, "GET, HEAD")
+	}
+}
+
+func TestFleetMountRouting(t *testing.T) {
+	// With no Fleet handler configured, /fleet/... is a plain 404.
+	srv, _, _ := newServer(t)
+	if code, _ := get(t, srv.URL+"/fleet/hosts"); code != http.StatusNotFound {
+		t.Errorf("/fleet/hosts without a mount: %d, want 404", code)
+	}
+
+	// With one configured, the whole subtree is delegated verbatim.
+	var sawPath string
+	h := NewWith(core.NewRegistry(), Options{
+		Fleet: http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			sawPath = r.URL.Path
+			w.WriteHeader(http.StatusTeapot)
+		}),
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/fleet/snapshot?vm=x", nil))
+	if rec.Code != http.StatusTeapot || sawPath != "/fleet/snapshot" {
+		t.Errorf("fleet mount: code %d path %q", rec.Code, sawPath)
+	}
+}

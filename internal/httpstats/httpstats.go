@@ -17,6 +17,8 @@
 //	GET  /metrics                        Prometheus exposition (Options.Metrics)
 //	GET  /debug/trace                    Chrome trace JSON (Options.Trace)
 //	GET  /watch                          SSE interval feed (Options.Series)
+//	GET  /healthz                        liveness probe: {status, uptime, disks}
+//	*    /fleet/...                      fleet federation surface (Options.Fleet)
 //
 // Path segments are URL-decoded, so VM and disk names containing spaces or
 // reserved characters (%20, %2F, …) address correctly; malformed escapes
@@ -29,6 +31,7 @@ import (
 	"net/http"
 	"net/url"
 	"strings"
+	"time"
 
 	"vscsistats/internal/core"
 )
@@ -50,6 +53,9 @@ type Options struct {
 	Trace http.Handler
 	// Series serves GET /disks/{vm}/{disk}/series and GET /watch.
 	Series SeriesSource
+	// Fleet serves every /fleet/... route (e.g. a fleet.Aggregator):
+	// /fleet/hosts, /fleet/snapshot, /fleet/push.
+	Fleet http.Handler
 	// OnControl, if set, observes every successful control-plane action:
 	// verb is "enable", "disable", "reset" or "snapshot".
 	OnControl func(verb, vm, disk string)
@@ -61,8 +67,11 @@ type Options struct {
 // more simulation goroutines (e.g. the parallel multi-VM driver's worlds)
 // issue commands through the observed disks.
 type Handler struct {
-	reg  *core.Registry
-	opts Options
+	reg   *core.Registry
+	opts  Options
+	start time.Time
+	// now is the wall clock, injectable for the /healthz uptime test.
+	now func() time.Time
 }
 
 // New returns an http.Handler over the registry with no optional surfaces.
@@ -71,7 +80,7 @@ func New(reg *core.Registry) *Handler { return NewWith(reg, Options{}) }
 // NewWith returns an http.Handler over the registry with the given
 // observability mounts.
 func NewWith(reg *core.Registry, opts Options) *Handler {
-	return &Handler{reg: reg, opts: opts}
+	return &Handler{reg: reg, opts: opts, start: time.Now(), now: time.Now}
 }
 
 // diskInfo is the list-view record.
@@ -104,6 +113,14 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		case len(parts) == 1 && parts[0] == "watch":
 			if h.opts.Series != nil {
 				h.opts.Series.ServeWatch(w, r)
+				return
+			}
+		case len(parts) == 1 && parts[0] == "healthz":
+			h.healthz(w, r)
+			return
+		case parts[0] == "fleet":
+			if h.opts.Fleet != nil {
+				h.opts.Fleet.ServeHTTP(w, r)
 				return
 			}
 		}
@@ -141,6 +158,26 @@ func splitPath(p string) ([]string, error) {
 		out = append(out, dec)
 	}
 	return out, nil
+}
+
+// healthz is the liveness probe: always 200 while the process serves,
+// with just enough state (uptime, registered disk count) for a fleet
+// aggregator or a k8s-style prober to tell "up" from "up and populated".
+// GET and HEAD only; the body is deliberately cheap — no snapshots taken.
+func (h *Handler) healthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodHead {
+		jsonError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet, http.MethodHead)
+		return
+	}
+	if r.Method == http.MethodHead {
+		w.Header().Set("Content-Type", "application/json")
+		return
+	}
+	writeJSON(w, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptime_seconds"`
+		Disks         int     `json:"disks"`
+	}{"ok", h.now().Sub(h.start).Seconds(), len(h.reg.List())})
 }
 
 func (h *Handler) control(verb, vm, disk string) {

@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"strconv"
+	"strings"
+
+	"vscsistats/internal/core"
+)
+
+// FleetHost is one host's liveness as seen by a fleet aggregator.
+type FleetHost struct {
+	Host       string
+	Stale      bool
+	AgeSeconds float64
+	Snapshots  int
+	Batches    int64
+	Seq        uint64
+}
+
+// FleetSource reports a fleet aggregator's state: per-host liveness plus
+// the merged cluster-wide and per-VM snapshots. fleet.Aggregator
+// implements it; the indirection keeps this package free of a fleet
+// dependency (mirroring DiskStatsSource).
+type FleetSource interface {
+	FleetHosts() []FleetHost
+	FleetCluster() *core.Snapshot
+	FleetVMs() []*core.Snapshot
+}
+
+// WithFleet attaches a fleet aggregator and returns the exporter. Scrapes
+// then include the vscsistats_fleet_* series: host liveness gauges, merged
+// cluster counters, per-VM command counters, and the six paper histograms
+// merged cluster-wide (bin-exact sums of every fresh host's bins).
+func (e *Exporter) WithFleet(src FleetSource) *Exporter {
+	e.fleet = src
+	return e
+}
+
+// writeFleet emits the vscsistats_fleet_* series.
+func (e *Exporter) writeFleet(p *promWriter) {
+	if e.fleet == nil {
+		return
+	}
+	hosts := e.fleet.FleetHosts()
+	var stale int
+	for _, h := range hosts {
+		if h.Stale {
+			stale++
+		}
+	}
+	p.family("vscsistats_fleet_hosts", "gauge", "Hosts known to the fleet aggregator.")
+	p.sample("vscsistats_fleet_hosts", "", strconv.Itoa(len(hosts)))
+	p.family("vscsistats_fleet_hosts_stale", "gauge", "Known hosts past the liveness horizon (excluded from merges).")
+	p.sample("vscsistats_fleet_hosts_stale", "", strconv.Itoa(stale))
+
+	p.family("vscsistats_fleet_host_up", "gauge", "1 when the host's newest batch is within the liveness horizon.")
+	for _, h := range hosts {
+		v := "1"
+		if h.Stale {
+			v = "0"
+		}
+		p.sample("vscsistats_fleet_host_up", hostLabels(h.Host), v)
+	}
+	p.family("vscsistats_fleet_host_age_seconds", "gauge", "Age of the host's newest batch.")
+	for _, h := range hosts {
+		p.sample("vscsistats_fleet_host_age_seconds", hostLabels(h.Host), formatFloat(h.AgeSeconds))
+	}
+	p.family("vscsistats_fleet_host_snapshots", "gauge", "Virtual disks in the host's newest batch.")
+	for _, h := range hosts {
+		p.sample("vscsistats_fleet_host_snapshots", hostLabels(h.Host), strconv.Itoa(h.Snapshots))
+	}
+	p.family("vscsistats_fleet_host_batches_total", "counter", "Batches ingested from the host, retries included.")
+	for _, h := range hosts {
+		p.sample("vscsistats_fleet_host_batches_total", hostLabels(h.Host), strconv.FormatInt(h.Batches, 10))
+	}
+
+	cluster := e.fleet.FleetCluster()
+	vms := e.fleet.FleetVMs()
+
+	type counter struct {
+		name, help string
+		get        func(*core.Snapshot) int64
+	}
+	counters := []counter{
+		{"vscsistats_fleet_commands_total", "Commands observed across all fresh hosts.", func(s *core.Snapshot) int64 { return s.Commands }},
+		{"vscsistats_fleet_reads_total", "Reads observed across all fresh hosts.", func(s *core.Snapshot) int64 { return s.NumReads }},
+		{"vscsistats_fleet_writes_total", "Writes observed across all fresh hosts.", func(s *core.Snapshot) int64 { return s.NumWrites }},
+		{"vscsistats_fleet_read_bytes_total", "Bytes read across all fresh hosts.", func(s *core.Snapshot) int64 { return s.ReadBytes }},
+		{"vscsistats_fleet_write_bytes_total", "Bytes written across all fresh hosts.", func(s *core.Snapshot) int64 { return s.WriteBytes }},
+		{"vscsistats_fleet_errors_total", "Errored commands across all fresh hosts.", func(s *core.Snapshot) int64 { return s.Errors }},
+	}
+	for _, c := range counters {
+		p.family(c.name, "counter", c.help)
+		if cluster != nil {
+			p.sample(c.name, "", strconv.FormatInt(c.get(cluster), 10))
+		}
+	}
+
+	p.family("vscsistats_fleet_vm_commands_total", "counter", "Commands per VM merged across all fresh hosts.")
+	for _, s := range vms {
+		p.sample("vscsistats_fleet_vm_commands_total", `vm="`+escapeLabel(s.VM)+`"`, strconv.FormatInt(s.Commands, 10))
+	}
+
+	if cluster == nil {
+		return
+	}
+	for _, fam := range workloadFamilies {
+		name := "vscsistats_fleet" + strings.TrimPrefix(fam.name, "vscsistats")
+		p.family(name, "histogram", "Cluster-wide merge: "+fam.help)
+		classes := []core.Class{core.All, core.Reads, core.Writes}
+		if fam.windowedOnly {
+			classes = classes[:1]
+		}
+		for _, cl := range classes {
+			h := cluster.Histogram(fam.metric, cl)
+			if h == nil {
+				continue
+			}
+			p.histogram(name, `class="`+cl.String()+`"`, h)
+		}
+	}
+}
+
+func hostLabels(host string) string {
+	return `host="` + escapeLabel(host) + `"`
+}

@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vscsistats/internal/core"
+)
+
+// fakeFleet is an in-package FleetSource: two hosts (one stale), a merged
+// cluster view, and a per-VM breakdown.
+type fakeFleet struct {
+	hosts   []FleetHost
+	cluster *core.Snapshot
+	vms     []*core.Snapshot
+}
+
+func (f *fakeFleet) FleetHosts() []FleetHost      { return f.hosts }
+func (f *fakeFleet) FleetCluster() *core.Snapshot { return f.cluster }
+func (f *fakeFleet) FleetVMs() []*core.Snapshot   { return f.vms }
+
+func newFakeFleet(t *testing.T) *fakeFleet {
+	t.Helper()
+	rigA := newRig(t, "vm-a", "scsi0:0")
+	rigA.col.Enable()
+	rigA.issue(t, 25, 5)
+	rigB := newRig(t, `vm-"odd"`, "scsi0:0") // exercises label escaping
+	rigB.col.Enable()
+	rigB.issue(t, 10, 20)
+	snaps := append(rigA.reg.Snapshots(), rigB.reg.Snapshots()...)
+	return &fakeFleet{
+		hosts: []FleetHost{
+			{Host: "esx-01", Stale: false, AgeSeconds: 0.5, Snapshots: 2, Batches: 7, Seq: 7},
+			{Host: "esx-02", Stale: true, AgeSeconds: 42, Snapshots: 1, Batches: 3, Seq: 3},
+		},
+		cluster: core.Aggregate("cluster", "*", snaps...),
+		vms:     []*core.Snapshot{rigA.reg.VMSnapshot("vm-a"), rigB.reg.VMSnapshot(`vm-"odd"`)},
+	}
+}
+
+func scrape(t *testing.T, exp *Exporter) []promSample {
+	t.Helper()
+	srv := httptest.NewServer(exp)
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	buf := make([]byte, 8192)
+	for {
+		n, rerr := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if rerr != nil {
+			break
+		}
+	}
+	return parseProm(t, sb.String())
+}
+
+// TestFleetExposition scrapes an exporter with a fleet source attached and
+// checks every fleet_* family against the source, through the strict
+// parser (so the merged histograms are also validated as cumulative,
+// ordered, +Inf-terminated).
+func TestFleetExposition(t *testing.T) {
+	src := newFakeFleet(t)
+	samples := scrape(t, NewExporter(core.NewRegistry()).WithFleet(src))
+
+	if s := findSample(t, samples, "vscsistats_fleet_hosts"); s.value != 2 {
+		t.Errorf("fleet_hosts = %v, want 2", s.value)
+	}
+	if s := findSample(t, samples, "vscsistats_fleet_hosts_stale"); s.value != 1 {
+		t.Errorf("fleet_hosts_stale = %v, want 1", s.value)
+	}
+	if s := findSample(t, samples, "vscsistats_fleet_host_up", "host", "esx-01"); s.value != 1 {
+		t.Errorf("host_up{esx-01} = %v, want 1", s.value)
+	}
+	if s := findSample(t, samples, "vscsistats_fleet_host_up", "host", "esx-02"); s.value != 0 {
+		t.Errorf("host_up{esx-02} = %v, want 0", s.value)
+	}
+	if s := findSample(t, samples, "vscsistats_fleet_host_age_seconds", "host", "esx-02"); s.value != 42 {
+		t.Errorf("host_age{esx-02} = %v, want 42", s.value)
+	}
+	if s := findSample(t, samples, "vscsistats_fleet_host_snapshots", "host", "esx-01"); s.value != 2 {
+		t.Errorf("host_snapshots{esx-01} = %v, want 2", s.value)
+	}
+	if s := findSample(t, samples, "vscsistats_fleet_host_batches_total", "host", "esx-01"); s.value != 7 {
+		t.Errorf("host_batches{esx-01} = %v, want 7", s.value)
+	}
+
+	c := src.cluster
+	for name, want := range map[string]int64{
+		"vscsistats_fleet_commands_total":    c.Commands,
+		"vscsistats_fleet_reads_total":       c.NumReads,
+		"vscsistats_fleet_writes_total":      c.NumWrites,
+		"vscsistats_fleet_read_bytes_total":  c.ReadBytes,
+		"vscsistats_fleet_write_bytes_total": c.WriteBytes,
+		"vscsistats_fleet_errors_total":      c.Errors,
+	} {
+		if s := findSample(t, samples, name); int64(s.value) != want {
+			t.Errorf("%s = %v, want %d", name, s.value, want)
+		}
+	}
+
+	for _, vs := range src.vms {
+		s := findSample(t, samples, "vscsistats_fleet_vm_commands_total", "vm", vs.VM)
+		if int64(s.value) != vs.Commands {
+			t.Errorf("vm_commands{%s} = %v, want %d", vs.VM, s.value, vs.Commands)
+		}
+	}
+
+	// The merged histograms carry the cluster totals: _count of the
+	// all-class series must equal the merged histogram's sample count.
+	for _, fam := range workloadFamilies {
+		name := "vscsistats_fleet" + strings.TrimPrefix(fam.name, "vscsistats")
+		h := c.Histogram(fam.metric, core.All)
+		s := findSample(t, samples, name+"_count", "class", "all")
+		if int64(s.value) != h.Total {
+			t.Errorf("%s_count{all} = %v, want %d", name, s.value, h.Total)
+		}
+	}
+}
+
+// TestFleetExpositionEmpty: a fleet source with no fresh cluster (every
+// host stale or none registered) must still produce a parseable scrape —
+// families present, no cluster samples, no histogram fragments.
+func TestFleetExpositionEmpty(t *testing.T) {
+	samples := scrape(t, NewExporter(core.NewRegistry()).WithFleet(&fakeFleet{}))
+	if s := findSample(t, samples, "vscsistats_fleet_hosts"); s.value != 0 {
+		t.Errorf("fleet_hosts = %v, want 0", s.value)
+	}
+	for _, s := range samples {
+		if strings.HasPrefix(s.name, "vscsistats_fleet_commands_total") {
+			t.Errorf("cluster counter emitted with no cluster: %s", s.name)
+		}
+		if strings.Contains(s.name, "fleet_io_length") {
+			t.Errorf("histogram emitted with no cluster: %s", s.name)
+		}
+	}
+}
+
+// TestFleetExpositionAbsent: without WithFleet, no fleet_* series appear.
+func TestFleetExpositionAbsent(t *testing.T) {
+	samples := scrape(t, NewExporter(core.NewRegistry()))
+	for _, s := range samples {
+		if strings.HasPrefix(s.name, "vscsistats_fleet_") {
+			t.Errorf("unexpected fleet series %s without a fleet source", s.name)
+		}
+	}
+}

@@ -35,6 +35,7 @@ import (
 type Exporter struct {
 	reg     *core.Registry
 	disks   DiskStatsSource
+	fleet   FleetSource
 	scrapes atomic.Int64
 	// lastScrapeNs records the duration of the most recent scrape.
 	lastScrapeNs atomic.Int64
@@ -108,6 +109,7 @@ func (e *Exporter) Write(w io.Writer) error {
 	e.writeDiskCounters(p, rows)
 	e.writeWorkloadHistograms(p, rows)
 	e.writeSelf(p, rows)
+	e.writeFleet(p)
 
 	p.family("vscsistats_collectors", "gauge", "Collectors registered in the control plane.")
 	p.sample("vscsistats_collectors", "", strconv.Itoa(len(rows)))

@@ -34,11 +34,13 @@
 package vscsistats
 
 import (
+	"io"
 	"net/http"
 	"time"
 
 	"vscsistats/internal/analysis"
 	"vscsistats/internal/core"
+	"vscsistats/internal/fleet"
 	"vscsistats/internal/fs"
 	"vscsistats/internal/histogram"
 	"vscsistats/internal/httpstats"
@@ -408,6 +410,45 @@ func NewSnapshotStreamer(reg *Registry, interval time.Duration, depth int) *Snap
 func NewStatsHandlerWith(reg *Registry, opts StatsOptions) http.Handler {
 	return httpstats.NewWith(reg, opts)
 }
+
+// --- Fleet federation (internal/fleet) ---
+
+// FleetAgent pushes a registry's snapshots to an aggregator on an
+// interval (with timeout, backoff + jitter and a bounded retry queue);
+// FleetAggregator ingests pushes, scatter-gathers pulls, tracks per-host
+// liveness and merges per-host snapshots into per-VM and cluster-wide
+// histograms, bin-exact. SnapshotBatch is the unit both speak on the
+// wire.
+type (
+	FleetAgent            = fleet.Agent
+	FleetAgentConfig      = fleet.AgentConfig
+	FleetAgentStats       = fleet.AgentStats
+	FleetAggregator       = fleet.Aggregator
+	FleetAggregatorConfig = fleet.AggregatorConfig
+	FleetHostStatus       = fleet.HostStatus
+	SnapshotBatch         = fleet.Batch
+)
+
+// NewFleetAgent builds a fleet agent over the registry; Start launches the
+// push loop, PushNow pushes synchronously.
+func NewFleetAgent(reg *Registry, cfg FleetAgentConfig) *FleetAgent {
+	return fleet.NewAgent(reg, cfg)
+}
+
+// NewFleetAggregator builds a fleet aggregator; mount it via
+// StatsOptions.Fleet and chain MetricsExporter.WithFleet for the merged
+// fleet_* Prometheus series.
+func NewFleetAggregator(cfg FleetAggregatorConfig) *FleetAggregator {
+	return fleet.NewAggregator(cfg)
+}
+
+// EncodeSnapshotBatch and DecodeSnapshotBatch are the fleet wire codec:
+// versioned, length-prefixed, gzip-framed — any number of frames can be
+// concatenated on one stream.
+func EncodeSnapshotBatch(w io.Writer, b *SnapshotBatch) error { return fleet.EncodeBatch(w, b) }
+
+// DecodeSnapshotBatch reads one frame; it never panics on corrupt input.
+func DecodeSnapshotBatch(r io.Reader) (*SnapshotBatch, error) { return fleet.DecodeBatch(r) }
 
 // --- Tracing and offline analysis ---
 
