@@ -1,0 +1,248 @@
+// Command benchfastpath measures the observation fast path and maintains
+// BENCH_fastpath.json, the committed before/after record for the striped
+// histogram + bin LUT + batched observer work.
+//
+// It shells out to `go test -bench` for the suite's fast-path benchmarks —
+// Table2StatsOn/Off and MultiVMParallel at the root, Insert/InsertParallel
+// in internal/histogram (at -cpu 1,4), FleetMerge in internal/fleet —
+// takes the minimum ns/op over -count runs (min-of-N discards scheduler
+// noise; the floor is the honest cost), and prints a table.
+//
+//	go run ./cmd/benchfastpath                         # measure and print
+//	go run ./cmd/benchfastpath -update -label current  # also record in the JSON
+//	go run ./cmd/benchfastpath -check                  # CI regression fence
+//
+// -check re-measures BenchmarkTable2StatsOn only and fails (exit 1) if it
+// regressed more than -tolerance percent over the entry named by -against,
+// so CI catches fast-path regressions without re-running the full suite.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// benchFile is the on-disk shape of BENCH_fastpath.json.
+type benchFile struct {
+	Note    string       `json:"note"`
+	Entries []benchEntry `json:"entries"`
+}
+
+// benchEntry is one labelled measurement set (e.g. "baseline", "current").
+type benchEntry struct {
+	Label      string             `json:"label"`
+	Date       string             `json:"date,omitempty"`
+	GoVersion  string             `json:"go,omitempty"`
+	GOMAXPROCS int                `json:"gomaxprocs"`
+	NumCPU     int                `json:"num_cpu"`
+	Count      int                `json:"count"`
+	NsPerOp    map[string]float64 `json:"ns_per_op"`
+}
+
+// suite lists what to measure: package path, -bench regex, extra args.
+var suite = []struct {
+	pkg   string
+	bench string
+	extra []string
+}{
+	{".", "Table2Stats|MultiVMParallel", nil},
+	{"./internal/histogram", "^BenchmarkInsert$|^BenchmarkInsertParallel$", []string{"-cpu", "1,4"}},
+	{"./internal/fleet", "^BenchmarkFleetMerge$", nil},
+}
+
+func main() {
+	var (
+		file      = flag.String("file", "BENCH_fastpath.json", "benchmark record to read/update")
+		label     = flag.String("label", "current", "entry label to record under with -update")
+		update    = flag.Bool("update", false, "record the measurements into -file (replaces an entry with the same label)")
+		count     = flag.Int("count", 5, "runs per benchmark; the minimum is kept")
+		benchtime = flag.String("benchtime", "", "per-run -benchtime (default: go test's 1s)")
+		check     = flag.Bool("check", false, "regression fence: re-measure Table2StatsOn and compare against -against")
+		against   = flag.String("against", "baseline", "entry label -check compares against")
+		tolerance = flag.Float64("tolerance", 25, "percent regression -check tolerates")
+	)
+	flag.Parse()
+
+	if *check {
+		os.Exit(runCheck(*file, *against, *count, *benchtime, *tolerance))
+	}
+
+	results := make(map[string]float64)
+	for _, s := range suite {
+		if err := runBench(s.pkg, s.bench, *count, *benchtime, s.extra, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	printTable(results)
+
+	if !*update {
+		return
+	}
+	entry := benchEntry{
+		Label:      *label,
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Count:      *count,
+		NsPerOp:    results,
+	}
+	if err := record(*file, entry); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "recorded %q in %s\n", *label, *file)
+}
+
+// runBench executes one `go test -bench` invocation and folds min ns/op per
+// benchmark name into results. Names keep go test's -N GOMAXPROCS suffix
+// (absent at cpu=1), so "BenchmarkInsertParallel" and
+// "BenchmarkInsertParallel-4" record separately.
+func runBench(pkg, bench string, count int, benchtime string, extra []string, results map[string]float64) error {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, extra...)
+	args = append(args, pkg)
+	fmt.Fprintf(os.Stderr, "go %s\n", strings.Join(args, " "))
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("benchfastpath: %s: %v\n%s", pkg, err, out.String())
+	}
+	sc := bufio.NewScanner(&out)
+	for sc.Scan() {
+		name, ns, ok := parseBenchLine(sc.Text())
+		if !ok {
+			continue
+		}
+		if prev, seen := results[name]; !seen || ns < prev {
+			results[name] = ns
+		}
+	}
+	return sc.Err()
+}
+
+// parseBenchLine extracts (name, ns/op) from a `go test -bench` result line:
+//
+//	BenchmarkInsertParallel-4   43503771   25.17 ns/op
+func parseBenchLine(line string) (string, float64, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return "", 0, false
+	}
+	f := strings.Fields(line)
+	for i := 2; i < len(f); i++ {
+		if f[i] == "ns/op" {
+			ns, err := strconv.ParseFloat(f[i-1], 64)
+			if err != nil {
+				return "", 0, false
+			}
+			return f[0], ns, true
+		}
+	}
+	return "", 0, false
+}
+
+func printTable(results map[string]float64) {
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	// Stable order: suite order is lost in the map, lexical is fine here.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, n := range names {
+		fmt.Printf("%-34s %12.2f ns/op (min)\n", n, results[n])
+	}
+}
+
+// record loads the JSON file (if any), replaces or appends the entry, and
+// writes it back.
+func record(path string, entry benchEntry) error {
+	var f benchFile
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &f); err != nil {
+			return fmt.Errorf("benchfastpath: %s: %v", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	if f.Note == "" {
+		f.Note = "min-of-N ns/op for the observation fast path; maintained by cmd/benchfastpath"
+	}
+	replaced := false
+	for i := range f.Entries {
+		if f.Entries[i].Label == entry.Label {
+			f.Entries[i] = entry
+			replaced = true
+		}
+	}
+	if !replaced {
+		f.Entries = append(f.Entries, entry)
+	}
+	raw, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+// runCheck is the CI fence: measure Table2StatsOn fresh, compare against
+// the recorded entry, and report pass/fail.
+func runCheck(path, against string, count int, benchtime string, tolerance float64) int {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchfastpath: %v\n", err)
+		return 1
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		fmt.Fprintf(os.Stderr, "benchfastpath: %s: %v\n", path, err)
+		return 1
+	}
+	var ref float64
+	for _, e := range f.Entries {
+		if e.Label == against {
+			ref = e.NsPerOp["BenchmarkTable2StatsOn"]
+		}
+	}
+	if ref == 0 {
+		fmt.Fprintf(os.Stderr, "benchfastpath: no BenchmarkTable2StatsOn under entry %q in %s\n", against, path)
+		return 1
+	}
+	results := make(map[string]float64)
+	if err := runBench(".", "^BenchmarkTable2StatsOn$", count, benchtime, nil, results); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	got, ok := results["BenchmarkTable2StatsOn"]
+	if !ok {
+		fmt.Fprintln(os.Stderr, "benchfastpath: benchmark produced no result")
+		return 1
+	}
+	limit := ref * (1 + tolerance/100)
+	fmt.Printf("Table2StatsOn: %.2f ns/op, %s %q: %.2f ns/op, limit +%.0f%%: %.2f ns/op\n",
+		got, path, against, ref, tolerance, limit)
+	if got > limit {
+		fmt.Printf("FAIL: fast path regressed %.1f%% over %q\n", (got/ref-1)*100, against)
+		return 1
+	}
+	fmt.Println("OK")
+	return 0
+}

@@ -33,6 +33,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of ASCII charts")
 		interval   = flag.Int("interval", 0, "also record per-interval histograms every N seconds")
 		serve      = flag.String("serve", "", "after the run, serve the results over HTTP at this address (e.g. :8080)")
+		withPprof  = flag.Bool("pprof", false, "with -serve, also mount Go profiling endpoints at /debug/pprof (off by default)")
 		lifetrace  = flag.Int("lifetrace", 0, "attach a lifecycle tracer retaining the last N events; exported at /debug/trace with -serve")
 		compare    = flag.String("compare", "", "second scenario to run and compare against -workload")
 		categorize = flag.Bool("categorize", false, "classify -workload against short reference runs of every other scenario")
@@ -144,6 +145,7 @@ func main() {
 		opts := vscsistats.StatsOptions{
 			Metrics: vscsistats.NewMetricsExporter(reg).WithDiskStats(sc.Host),
 			Series:  streamer,
+			Pprof:   *withPprof,
 		}
 		if tracer != nil {
 			opts.Trace = tracer
@@ -152,6 +154,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "serving stats on http://%s/disks (also /metrics, /watch", *serve)
 		if tracer != nil {
 			fmt.Fprint(os.Stderr, ", /debug/trace")
+		}
+		if *withPprof {
+			fmt.Fprint(os.Stderr, ", /debug/pprof")
 		}
 		fmt.Fprintln(os.Stderr, ")")
 		if err := http.ListenAndServe(*serve, vscsistats.NewStatsHandlerWith(reg, opts)); err != nil {

@@ -4,10 +4,12 @@
 //
 // A Histogram has a fixed set of irregular bin upper edges chosen up front
 // (see bins.go for the paper's standard bin sets) plus an implicit overflow
-// bin. Insertion is O(log m) in the number of bins and lock-free, so a
-// histogram can sit on the hypervisor's per-command fast path: the paper's
-// key claim is that this costs O(1) CPU per command and O(m) space total,
-// versus O(n) space for a trace.
+// bin. Insertion is O(1) and lock-free — a precomputed lookup table replaces
+// the per-insert binary search (lut.go) and the counters are sharded across
+// cache-line-padded stripes (stripe.go) — so a histogram can sit on the
+// hypervisor's per-command fast path even with many cores issuing
+// concurrently: the paper's key claim is that this costs O(1) CPU per
+// command and O(m) space total, versus O(n) space for a trace.
 package histogram
 
 import (
@@ -22,16 +24,27 @@ import (
 // edge land in the overflow bin. Alongside the bins it tracks count, sum,
 // min and max so exact means survive binning.
 //
-// All methods are safe for concurrent use.
+// All methods are safe for concurrent use. The bins and the running sum are
+// striped per goroutine (see stripe.go); min and max stay global because
+// after warm-up they almost never change, and the update is a conditional
+// CAS only taken when the bound actually moves.
 type Histogram struct {
-	name   string
-	unit   string
-	edges  []int64 // sorted ascending, immutable after construction
-	counts []atomic.Int64
-	total  atomic.Int64
-	sum    atomic.Int64
-	min    atomic.Int64
-	max    atomic.Int64
+	name  string
+	unit  string
+	edges []int64 // sorted ascending, immutable after construction
+	lut   *binLUT // nil for layouts the LUT cannot index (binary search)
+	nbins int     // len(edges)+1, including the overflow bin
+
+	// cells holds stripeCount cache-line-aligned stripes of stride words
+	// each: nbins count cells followed by one sum cell. The per-sample
+	// total is derived by summing the count cells, so a merged snapshot's
+	// Total always equals the sum of its bins.
+	cells      []atomic.Int64
+	stride     int
+	stripeMask uint64
+
+	min atomic.Int64
+	max atomic.Int64
 }
 
 // New returns a histogram with the given bin upper edges. The edges must be
@@ -48,12 +61,18 @@ func New(name, unit string, edges []int64) *Histogram {
 				i, edges[i], edges[i-1]))
 		}
 	}
+	nbins := len(edges) + 1
+	stripes := numStripes()
 	h := &Histogram{
-		name:   name,
-		unit:   unit,
-		edges:  append([]int64(nil), edges...),
-		counts: make([]atomic.Int64, len(edges)+1),
+		name:       name,
+		unit:       unit,
+		edges:      append([]int64(nil), edges...),
+		nbins:      nbins,
+		stride:     stripeStride(nbins),
+		stripeMask: uint64(stripes - 1),
 	}
+	h.lut = lutFor(h.edges)
+	h.cells = newCells(stripes, h.stride)
 	h.min.Store(math.MaxInt64)
 	h.max.Store(math.MinInt64)
 	return h
@@ -66,33 +85,23 @@ func (h *Histogram) Name() string { return h.name }
 func (h *Histogram) Unit() string { return h.unit }
 
 // NumBins returns the number of bins including the overflow bin.
-func (h *Histogram) NumBins() int { return len(h.counts) }
+func (h *Histogram) NumBins() int { return h.nbins }
 
 // BinIndex returns the bin a value of v would be counted in.
 func (h *Histogram) BinIndex(v int64) int {
+	if h.lut != nil {
+		return h.lut.lookup(v)
+	}
 	// sort.Search finds the first edge >= v, i.e. the first bin whose
 	// upper edge admits v.
 	return sort.Search(len(h.edges), func(i int) bool { return h.edges[i] >= v })
 }
 
 // Insert counts one sample. This is the hypervisor fast-path operation: a
-// binary search over a handful of edges plus five atomic updates.
+// table lookup plus two atomic adds on a per-goroutine stripe, and two
+// bound checks that CAS only when the sample extends the observed range.
 func (h *Histogram) Insert(v int64) {
-	h.counts[h.BinIndex(v)].Add(1)
-	h.total.Add(1)
-	h.sum.Add(v)
-	for {
-		cur := h.min.Load()
-		if v >= cur || h.min.CompareAndSwap(cur, v) {
-			break
-		}
-	}
-	for {
-		cur := h.max.Load()
-		if v <= cur || h.max.CompareAndSwap(cur, v) {
-			break
-		}
-	}
+	h.InsertN(v, 1)
 }
 
 // InsertN counts n identical samples (used by trace replay).
@@ -100,53 +109,91 @@ func (h *Histogram) InsertN(v, n int64) {
 	if n <= 0 {
 		return
 	}
-	h.counts[h.BinIndex(v)].Add(n)
-	h.total.Add(n)
-	h.sum.Add(v * n)
-	for {
-		cur := h.min.Load()
-		if v >= cur || h.min.CompareAndSwap(cur, v) {
-			break
+	var bin int
+	if h.lut != nil {
+		bin = h.lut.lookup(v)
+	} else {
+		bin = h.BinIndex(v)
+	}
+	base := 0
+	if h.stripeMask != 0 {
+		base = int(stripeHint()&h.stripeMask) * h.stride
+	}
+	h.cells[base+bin].Add(n)
+	h.cells[base+h.nbins].Add(v * n)
+	h.updateBounds(v)
+}
+
+// updateBounds widens min/max to admit v. The common case — v inside the
+// already-observed range — is two plain loads and no write, so a hot
+// histogram's min/max cache lines stay shared instead of bouncing between
+// cores on every insert.
+func (h *Histogram) updateBounds(v int64) {
+	if v < h.min.Load() {
+		for {
+			cur := h.min.Load()
+			if v >= cur || h.min.CompareAndSwap(cur, v) {
+				break
+			}
 		}
 	}
-	for {
-		cur := h.max.Load()
-		if v <= cur || h.max.CompareAndSwap(cur, v) {
-			break
+	if v > h.max.Load() {
+		for {
+			cur := h.max.Load()
+			if v <= cur || h.max.CompareAndSwap(cur, v) {
+				break
+			}
 		}
 	}
 }
 
 // Reset zeroes all bins and summary statistics.
 func (h *Histogram) Reset() {
-	for i := range h.counts {
-		h.counts[i].Store(0)
+	for i := range h.cells {
+		h.cells[i].Store(0)
 	}
-	h.total.Store(0)
-	h.sum.Store(0)
 	h.min.Store(math.MaxInt64)
 	h.max.Store(math.MinInt64)
 }
 
 // Total returns the number of samples inserted.
-func (h *Histogram) Total() int64 { return h.total.Load() }
+func (h *Histogram) Total() int64 {
+	var total int64
+	for s := 0; s <= int(h.stripeMask); s++ {
+		base := s * h.stride
+		for i := 0; i < h.nbins; i++ {
+			total += h.cells[base+i].Load()
+		}
+	}
+	return total
+}
 
-// Snapshot copies the current state into an immutable Snapshot. Concurrent
-// inserts may straddle the copy; per the paper this tearing is acceptable
-// for monitoring (each individual counter is still consistent).
+// Snapshot merges the stripes into an immutable Snapshot. Concurrent inserts
+// may straddle the copy; per the paper this tearing is acceptable for
+// monitoring (each individual counter is still consistent). Two guarantees
+// survive the merge: Total is derived from the merged bins, so it always
+// equals their sum exactly; and every cell is monotone non-decreasing, so
+// between two snapshots with no intervening Reset no bin ever goes
+// backwards — the property the Prometheus exporter's cumulative buckets
+// rely on across scrapes.
 func (h *Histogram) Snapshot() *Snapshot {
 	s := &Snapshot{
 		Name:   h.name,
 		Unit:   h.unit,
 		Edges:  h.edges, // immutable, shared
-		Counts: make([]int64, len(h.counts)),
-		Total:  h.total.Load(),
-		Sum:    h.sum.Load(),
+		Counts: make([]int64, h.nbins),
 		Min:    h.min.Load(),
 		Max:    h.max.Load(),
 	}
-	for i := range h.counts {
-		s.Counts[i] = h.counts[i].Load()
+	for st := 0; st <= int(h.stripeMask); st++ {
+		base := st * h.stride
+		for i := 0; i < h.nbins; i++ {
+			s.Counts[i] += h.cells[base+i].Load()
+		}
+		s.Sum += h.cells[base+h.nbins].Load()
+	}
+	for _, c := range s.Counts {
+		s.Total += c
 	}
 	if s.Total == 0 {
 		s.Min, s.Max = 0, 0

@@ -1,0 +1,77 @@
+package histogram
+
+import (
+	"runtime"
+	"sync/atomic"
+	"unsafe"
+)
+
+// Striped counter storage. A histogram's bins are sharded across N stripes
+// (N = GOMAXPROCS at construction, rounded up to a power of two) so that
+// concurrently issuing goroutines do not contend on one cache line per bin.
+// Each stripe is a cache-line-aligned block of nbins count cells plus one sum
+// cell; Snapshot and Total merge the stripes, which preserves per-bin
+// monotonicity: every cell only ever grows, and a later merge reads each cell
+// after an earlier merge did.
+//
+// With GOMAXPROCS=1 there is exactly one stripe, so the single-threaded
+// memory cost and merge cost match the unstriped layout.
+
+// cacheLineBytes is the coherence granularity stripes are padded to.
+const cacheLineBytes = 64
+
+// maxStripes bounds the space cost on very wide machines: beyond 64 stripes
+// the merge cost starts to show up in snapshot-heavy paths and the
+// contention win has long since flattened.
+const maxStripes = 64
+
+// numStripes picks the stripe count for a new histogram.
+func numStripes() int {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	if n > maxStripes {
+		n = maxStripes
+	}
+	// Round up to a power of two so the stripe pick is a mask, not a mod.
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newCells allocates nStripes*stride atomic cells with the first cell
+// aligned to a cache line, so stripes padded to cache-line multiples never
+// share a line with a neighbour.
+func newCells(nStripes, stride int) []atomic.Int64 {
+	n := nStripes * stride
+	const wordsPerLine = cacheLineBytes / 8
+	raw := make([]atomic.Int64, n+wordsPerLine-1)
+	off := 0
+	if r := uintptr(unsafe.Pointer(&raw[0])) % cacheLineBytes; r != 0 {
+		off = int((cacheLineBytes - r) / 8)
+	}
+	return raw[off : off+n : off+n]
+}
+
+// stripeStride rounds the per-stripe cell count (nbins counts + 1 sum) up to
+// a whole number of cache lines.
+func stripeStride(nbins int) int {
+	const wordsPerLine = cacheLineBytes / 8
+	cells := nbins + 1
+	return (cells + wordsPerLine - 1) / wordsPerLine * wordsPerLine
+}
+
+// stripeHint returns a cheap per-goroutine value used to pick a stripe.
+// Goroutine stacks are distinct allocations, so the page number of a local
+// variable is stable within a goroutine (until a stack growth moves it —
+// harmless, the hint only spreads load) and distinct across goroutines; a
+// Fibonacci hash spreads the page numbers across the stripe space. This
+// costs a couple of arithmetic ops — no TLS lookup, no atomic.
+func stripeHint() uint64 {
+	var marker byte
+	p := uintptr(unsafe.Pointer(&marker))
+	return (uint64(p>>12) * 0x9E3779B97F4A7C15) >> 52
+}

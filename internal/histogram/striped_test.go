@@ -1,0 +1,283 @@
+package histogram
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+// refBinIndex is the binary search the LUT replaces — the reference
+// implementation for equivalence tests.
+func refBinIndex(edges []int64, v int64) int {
+	return sort.Search(len(edges), func(i int) bool { return edges[i] >= v })
+}
+
+// TestLUTMatchesBinarySearch pins the lookup table to the binary search it
+// replaces, over every standard bin set and the full int64 domain.
+func TestLUTMatchesBinarySearch(t *testing.T) {
+	sets := map[string][]int64{
+		"ioLength":     IOLengthEdges(),
+		"seekDistance": SeekDistanceEdges(),
+		"latency":      LatencyEdges(),
+		"interarrival": InterarrivalEdges(),
+		"outstanding":  OutstandingEdges(),
+		"observeNs":    {64, 128, 256, 512, 1024},
+	}
+	for name, edges := range sets {
+		lut := newBinLUT(edges)
+		if lut == nil {
+			t.Fatalf("%s: LUT construction failed", name)
+		}
+		// Exhaustive near every edge, the small-table boundary and the
+		// extremes; randomized everywhere else.
+		var probes []int64
+		for _, e := range edges {
+			for d := int64(-2); d <= 2; d++ {
+				probes = append(probes, e+d)
+			}
+		}
+		probes = append(probes, 0, 1, -1, lutSmallSpan-1, lutSmallSpan,
+			lutSmallSpan+1, -lutSmallSpan, -lutSmallSpan-1,
+			math.MaxInt64, math.MinInt64, math.MinInt64+1)
+		for _, v := range probes {
+			if got, want := lut.lookup(v), refBinIndex(edges, v); got != want {
+				t.Errorf("%s: lookup(%d) = %d, want %d", name, v, got, want)
+			}
+		}
+		f := func(v int64) bool { return lut.lookup(v) == refBinIndex(edges, v) }
+		if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestLUTMatchesBinarySearchRandomLayouts extends the equivalence to
+// arbitrary strictly-increasing layouts, including negative-heavy ones.
+func TestLUTMatchesBinarySearchRandomLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(40)
+		seen := make(map[int64]bool)
+		var edges []int64
+		for len(edges) < n {
+			v := rng.Int63n(1<<40) - 1<<39
+			if !seen[v] {
+				seen[v] = true
+				edges = append(edges, v)
+			}
+		}
+		sort.Slice(edges, func(i, j int) bool { return edges[i] < edges[j] })
+		lut := newBinLUT(edges)
+		if lut == nil {
+			t.Fatalf("trial %d: LUT construction failed", trial)
+		}
+		for probe := 0; probe < 2000; probe++ {
+			v := rng.Int63n(1<<41) - 1<<40
+			if got, want := lut.lookup(v), refBinIndex(edges, v); got != want {
+				t.Fatalf("trial %d edges %v: lookup(%d) = %d, want %d",
+					trial, edges, v, got, want)
+			}
+		}
+	}
+}
+
+// TestLUTFallbackWideLayout checks that layouts beyond the uint8 bin space
+// fall back to binary search and still count correctly.
+func TestLUTFallbackWideLayout(t *testing.T) {
+	edges := make([]int64, 300)
+	for i := range edges {
+		edges[i] = int64(i) * 10
+	}
+	if lutFor(edges) != nil {
+		t.Fatal("expected no LUT for a 301-bin layout")
+	}
+	h := New("wide", "u", edges)
+	h.Insert(25)
+	s := h.Snapshot()
+	if s.Counts[refBinIndex(edges, 25)] != 1 || s.Total != 1 {
+		t.Fatalf("fallback insert landed wrong: %+v", s.Counts[:5])
+	}
+}
+
+// forceStripes creates a histogram with several stripes even on a
+// single-core machine by widening GOMAXPROCS around construction.
+func forceStripes(t *testing.T, edges []int64, n int) *Histogram {
+	t.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	h := New("striped", "u", edges)
+	runtime.GOMAXPROCS(prev)
+	if int(h.stripeMask)+1 < 2 {
+		t.Fatalf("expected >= 2 stripes at GOMAXPROCS=%d", n)
+	}
+	return h
+}
+
+// TestStripedCountsExact inserts a known multiset from many goroutines and
+// requires the merged snapshot to be bin-exact — striping must never lose,
+// duplicate or misplace a sample.
+func TestStripedCountsExact(t *testing.T) {
+	edges := IOLengthEdges()
+	h := forceStripes(t, edges, 8)
+	const goroutines = 8
+	const perG = 20000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perG; i++ {
+				h.Insert(rng.Int63n(600000) + 1)
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Total != goroutines*perG {
+		t.Fatalf("Total = %d, want %d", s.Total, goroutines*perG)
+	}
+	// Replay the same multiset into a reference histogram built with one
+	// stripe and compare bins exactly.
+	prev := runtime.GOMAXPROCS(1)
+	ref := New("ref", "u", edges)
+	runtime.GOMAXPROCS(prev)
+	for g := 0; g < goroutines; g++ {
+		rng := rand.New(rand.NewSource(int64(g)))
+		for i := 0; i < perG; i++ {
+			ref.Insert(rng.Int63n(600000) + 1)
+		}
+	}
+	rs := ref.Snapshot()
+	for i := range s.Counts {
+		if s.Counts[i] != rs.Counts[i] {
+			t.Errorf("bin %d: striped %d, reference %d", i, s.Counts[i], rs.Counts[i])
+		}
+	}
+	if s.Sum != rs.Sum || s.Min != rs.Min || s.Max != rs.Max {
+		t.Errorf("summary mismatch: striped sum=%d min=%d max=%d, ref sum=%d min=%d max=%d",
+			s.Sum, s.Min, s.Max, rs.Sum, rs.Min, rs.Max)
+	}
+}
+
+// TestStripedSnapshotConsistentUnderHammer hammers one striped histogram
+// from GOMAXPROCS goroutines while concurrently snapshotting, asserting
+// every snapshot is internally consistent (Total == sum of bins — exact by
+// construction since Total is derived from the merged bins) and monotone
+// versus the previous snapshot: no bin, Total or Sum ever goes backwards
+// while inserts race the merge. This is the property the Prometheus
+// exporter's cumulative buckets rely on across scrapes.
+func TestStripedSnapshotConsistentUnderHammer(t *testing.T) {
+	h := forceStripes(t, IOLengthEdges(), 8)
+	writers := runtime.GOMAXPROCS(0)
+	if writers < 4 {
+		writers = 4
+	}
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for !stop.Load() {
+				h.Insert(rng.Int63n(600000) + 1)
+			}
+		}(int64(g))
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 300; i++ {
+		s := h.Snapshot()
+		var binSum int64
+		for _, c := range s.Counts {
+			binSum += c
+		}
+		if s.Total != binSum {
+			t.Fatalf("snapshot %d: Total %d != sum of bins %d", i, s.Total, binSum)
+		}
+		if s.Total < prev.Total {
+			t.Fatalf("snapshot %d: Total went backwards: %d -> %d", i, prev.Total, s.Total)
+		}
+		if s.Sum < prev.Sum {
+			t.Fatalf("snapshot %d: Sum went backwards: %d -> %d", i, prev.Sum, s.Sum)
+		}
+		for b := range s.Counts {
+			if s.Counts[b] < prev.Counts[b] {
+				t.Fatalf("snapshot %d bin %d went backwards: %d -> %d",
+					i, b, prev.Counts[b], s.Counts[b])
+			}
+		}
+		prev = s
+	}
+	stop.Store(true)
+	wg.Wait()
+}
+
+// TestMinMaxConcurrentInserts pins min/max exactness under concurrent
+// inserts now that the unconditional CAS loops are gated behind a bounds
+// check: goroutines insert disjoint ranges with known extrema and the final
+// bounds must be exact, including extrema that appear only once, late, from
+// a single goroutine.
+func TestMinMaxConcurrentInserts(t *testing.T) {
+	h := forceStripes(t, SeekDistanceEdges(), 8)
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(g))
+			for i := 0; i < perG; i++ {
+				h.Insert(rng.Int63n(1000) - 500)
+			}
+			// Each goroutine lands one extreme pair late; the global
+			// extrema are known exactly.
+			h.Insert(-1000000 - g)
+			h.Insert(1000000 + g)
+		}(int64(g))
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	wantMin, wantMax := int64(-1000000-(goroutines-1)), int64(1000000+(goroutines-1))
+	if s.Min != wantMin || s.Max != wantMax {
+		t.Fatalf("min/max = %d/%d, want %d/%d", s.Min, s.Max, wantMin, wantMax)
+	}
+	if s.Total != goroutines*(perG+2) {
+		t.Fatalf("Total = %d, want %d", s.Total, goroutines*(perG+2))
+	}
+}
+
+// TestStripedResetZeroes verifies Reset clears every stripe, not just the
+// first.
+func TestStripedResetZeroes(t *testing.T) {
+	h := forceStripes(t, LatencyEdges(), 8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Insert(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Total() == 0 {
+		t.Fatal("expected samples before reset")
+	}
+	h.Reset()
+	s := h.Snapshot()
+	if s.Total != 0 || s.Sum != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("reset left state behind: %+v", s)
+	}
+	for i, c := range s.Counts {
+		if c != 0 {
+			t.Fatalf("bin %d nonzero after reset: %d", i, c)
+		}
+	}
+}

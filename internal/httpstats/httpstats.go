@@ -16,6 +16,7 @@
 //	POST /disks/{vm}/{disk}/reset        discard accumulated data
 //	GET  /metrics                        Prometheus exposition (Options.Metrics)
 //	GET  /debug/trace                    Chrome trace JSON (Options.Trace)
+//	GET  /debug/pprof/...                Go profiling endpoints (Options.Pprof)
 //	GET  /watch                          SSE interval feed (Options.Series)
 //	GET  /healthz                        liveness probe: {status, uptime, disks}
 //	*    /fleet/...                      fleet federation surface (Options.Fleet)
@@ -29,6 +30,7 @@ package httpstats
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 	"net/url"
 	"strings"
 	"time"
@@ -56,6 +58,11 @@ type Options struct {
 	// Fleet serves every /fleet/... route (e.g. a fleet.Aggregator):
 	// /fleet/hosts, /fleet/snapshot, /fleet/push.
 	Fleet http.Handler
+	// Pprof mounts net/http/pprof under /debug/pprof/... for profiling the
+	// observation fast path in situ (CPU, heap, mutex, block). Off by
+	// default: the endpoints reveal process internals and a CPU profile
+	// costs real cycles, so production deployments must opt in.
+	Pprof bool
 	// OnControl, if set, observes every successful control-plane action:
 	// verb is "enable", "disable", "reset" or "snapshot".
 	OnControl func(verb, vm, disk string)
@@ -110,6 +117,11 @@ func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 				h.opts.Trace.ServeHTTP(w, r)
 				return
 			}
+		case len(parts) >= 2 && parts[0] == "debug" && parts[1] == "pprof":
+			if h.opts.Pprof {
+				servePprof(w, r, parts[2:])
+				return
+			}
 		case len(parts) == 1 && parts[0] == "watch":
 			if h.opts.Series != nil {
 				h.opts.Series.ServeWatch(w, r)
@@ -158,6 +170,29 @@ func splitPath(p string) ([]string, error) {
 		out = append(out, dec)
 	}
 	return out, nil
+}
+
+// servePprof dispatches /debug/pprof/... to net/http/pprof. The index and
+// the special handlers (cmdline, profile, symbol, trace) have dedicated
+// entry points; every other name is a runtime profile looked up by
+// pprof.Handler, which 404s unknown names itself.
+func servePprof(w http.ResponseWriter, r *http.Request, rest []string) {
+	if len(rest) == 0 {
+		pprof.Index(w, r)
+		return
+	}
+	switch rest[0] {
+	case "cmdline":
+		pprof.Cmdline(w, r)
+	case "profile":
+		pprof.Profile(w, r)
+	case "symbol":
+		pprof.Symbol(w, r)
+	case "trace":
+		pprof.Trace(w, r)
+	default:
+		pprof.Handler(rest[0]).ServeHTTP(w, r)
+	}
 }
 
 // healthz is the liveness probe: always 200 while the process serves,

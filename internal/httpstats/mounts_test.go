@@ -121,6 +121,36 @@ func TestObservabilityMounts(t *testing.T) {
 	}
 }
 
+// TestPprofMount: Options.Pprof gates the /debug/pprof surface — index,
+// named profiles and the symbol endpoint answer when enabled; everything
+// stays a JSON 404 by default.
+func TestPprofMount(t *testing.T) {
+	reg := core.NewRegistry()
+	on := httptest.NewServer(NewWith(reg, Options{Pprof: true}))
+	t.Cleanup(on.Close)
+
+	if code, body := get(t, on.URL+"/debug/pprof"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("pprof index: code %d, body %q", code, body)
+	}
+	for _, path := range []string{"/debug/pprof/goroutine", "/debug/pprof/heap", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		if code, _ := get(t, on.URL+path); code != 200 {
+			t.Errorf("%s: code %d, want 200", path, code)
+		}
+	}
+	if code, _ := get(t, on.URL+"/debug/pprof/nosuchprofile"); code != 404 {
+		t.Errorf("unknown profile: code %d, want 404", code)
+	}
+
+	off := httptest.NewServer(New(reg))
+	t.Cleanup(off.Close)
+	for _, path := range []string{"/debug/pprof", "/debug/pprof/heap", "/debug/pprof/profile"} {
+		code, body := get(t, off.URL+path)
+		if code != 404 || !strings.Contains(body, `"error"`) {
+			t.Errorf("pprof off, %s: %d %q", path, code, body)
+		}
+	}
+}
+
 // TestOnControlHook: the hook observes enable/disable/reset and snapshots.
 func TestOnControlHook(t *testing.T) {
 	reg := core.NewRegistry()

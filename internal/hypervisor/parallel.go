@@ -32,6 +32,11 @@ type World struct {
 // All worlds' collectors land in one shared Registry, so a monitoring
 // goroutine — an HTTP stats handler, an esxtop-style poller — can snapshot
 // and toggle any disk's characterization service while every world runs.
+// The observation fast path is built for exactly this shape of load: each
+// world's workload generators issue their initial windows through
+// Disk.IssueBatch (one observer dispatch and one stream-mutex acquisition
+// per burst), and the collectors' striped histograms let world goroutines
+// insert while pollers snapshot without bouncing cache lines between them.
 type ParallelSim struct {
 	registry *core.Registry
 	worlds   []*World

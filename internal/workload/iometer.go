@@ -90,11 +90,32 @@ func NewIometer(eng *simclock.Engine, disk *vscsi.Disk, spec AccessSpec) *Iomete
 // Name implements Generator.
 func (im *Iometer) Name() string { return fmt.Sprintf("iometer/%s", im.spec.Name) }
 
-// Start issues the initial window of outstanding I/Os.
+// Start issues the initial window of outstanding I/Os as one burst through
+// the batched vSCSI path: the window arrives at a single virtual instant
+// either way, and IssueBatch lets the observation layer process it with one
+// observer dispatch and one stream-mutex acquisition. For the asynchronous
+// storage backends the burst is bit-identical to issuing the window in a
+// loop; thereafter every completion refills the window one command at a
+// time, exactly like the original tool.
 func (im *Iometer) Start() {
 	im.running = true
-	for i := 0; i < im.spec.Outstanding; i++ {
-		im.issue()
+	cmds := make([]scsi.Command, im.spec.Outstanding)
+	for i := range cmds {
+		cmds[i] = im.nextCmd()
+	}
+	start := im.eng.Now()
+	rs, err := im.disk.IssueBatch(cmds, func(r *vscsi.Request) {
+		im.complete(r, start)
+	})
+	if err != nil {
+		// The loop path would have failed each issue individually.
+		im.stats.Errors += int64(len(cmds))
+		return
+	}
+	if im.spec.Timeout > 0 {
+		for _, r := range rs {
+			im.scheduleTimeout(r)
+		}
 	}
 }
 
@@ -112,10 +133,8 @@ func (im *Iometer) region() uint64 {
 	return r
 }
 
-func (im *Iometer) issue() {
-	if !im.running {
-		return
-	}
+// nextCmd draws the next command from the access specification.
+func (im *Iometer) nextCmd() scsi.Command {
 	blocks := uint32(im.spec.BlockBytes / 512)
 	slots := im.region() / uint64(blocks)
 	var lba uint64
@@ -128,29 +147,44 @@ func (im *Iometer) issue() {
 		lba = im.cursor
 		im.cursor += uint64(blocks)
 	}
-	var cmd scsi.Command
 	if im.rng.Intn(100) < im.spec.ReadPct {
-		cmd = scsi.Read(lba, blocks)
-	} else {
-		cmd = scsi.Write(lba, blocks)
+		return scsi.Read(lba, blocks)
 	}
+	return scsi.Write(lba, blocks)
+}
+
+// complete accounts one finished command and refills the window.
+func (im *Iometer) complete(r *vscsi.Request, start simclock.Time) {
+	im.stats.Ops++
+	im.stats.Bytes += im.spec.BlockBytes
+	im.stats.TotalLatency += im.eng.Now() - start
+	if r.Status != scsi.StatusGood {
+		im.stats.Errors++
+	}
+	im.issue()
+}
+
+// scheduleTimeout arms the guest-driver-style abort timer for one request.
+func (im *Iometer) scheduleTimeout(req *vscsi.Request) {
+	im.eng.After(im.spec.Timeout, func(simclock.Time) {
+		im.disk.Abort(req) // no-op if already complete
+	})
+}
+
+func (im *Iometer) issue() {
+	if !im.running {
+		return
+	}
+	cmd := im.nextCmd()
 	start := im.eng.Now()
 	req, err := im.disk.Issue(cmd, func(r *vscsi.Request) {
-		im.stats.Ops++
-		im.stats.Bytes += im.spec.BlockBytes
-		im.stats.TotalLatency += im.eng.Now() - start
-		if r.Status != scsi.StatusGood {
-			im.stats.Errors++
-		}
-		im.issue()
+		im.complete(r, start)
 	})
 	if err != nil {
 		im.stats.Errors++
 		return
 	}
 	if im.spec.Timeout > 0 {
-		im.eng.After(im.spec.Timeout, func(simclock.Time) {
-			im.disk.Abort(req) // no-op if already complete
-		})
+		im.scheduleTimeout(req)
 	}
 }

@@ -176,6 +176,12 @@ type (
 	DiskConfig = vscsi.DiskConfig
 )
 
+// BatchObserver is an Observer that additionally accepts whole bursts of
+// issued requests through OnIssueBatch; Disk.IssueBatch delivers a burst to
+// it in one call, amortizing per-command dispatch. The built-in Collector
+// implements it.
+type BatchObserver = vscsi.BatchObserver
+
 // Read and Write build block I/O commands (LBA and length in 512-byte
 // sectors).
 func Read(lba uint64, blocks uint32) Command { return scsi.Read(lba, blocks) }
