@@ -1,20 +1,29 @@
-// Command benchfastpath measures the observation fast path and maintains
-// BENCH_fastpath.json, the committed before/after record for the striped
-// histogram + bin LUT + batched observer work.
+// Command benchfastpath measures the suite's performance-critical paths and
+// maintains their committed before/after records:
 //
-// It shells out to `go test -bench` for the suite's fast-path benchmarks —
-// Table2StatsOn/Off and MultiVMParallel at the root, Insert/InsertParallel
-// in internal/histogram (at -cpu 1,4), FleetMerge in internal/fleet —
-// takes the minimum ns/op over -count runs (min-of-N discards scheduler
-// noise; the floor is the honest cost), and prints a table.
+//   - default: the observation fast path (BENCH_fastpath.json) — the striped
+//     histogram + bin LUT + batched observer work. Table2StatsOn/Off and
+//     MultiVMParallel at the root, Insert/InsertParallel in
+//     internal/histogram (at -cpu 1,4), FleetMerge in internal/fleet.
+//   - -fleet: the fleet tier (BENCH_fleet.json) — sharded ingest+scrape at
+//     256/1024 simulated hosts against the monolithic single-mutex
+//     configuration, full vs delta wire bytes per push interval, and cached
+//     vs uncached cluster merges.
+//
+// It shells out to `go test -bench`, takes the minimum over -count runs
+// (min-of-N discards scheduler noise; the floor is the honest cost), and
+// prints a table. Secondary metrics a benchmark reports (wire_bytes/op)
+// are captured alongside ns/op.
 //
 //	go run ./cmd/benchfastpath                         # measure and print
-//	go run ./cmd/benchfastpath -update -label current  # also record in the JSON
+//	go run ./cmd/benchfastpath -fleet -update          # refresh BENCH_fleet.json
 //	go run ./cmd/benchfastpath -check                  # CI regression fence
+//	go run ./cmd/benchfastpath -check -fleet           # CI fence, fleet ingest
 //
-// -check re-measures BenchmarkTable2StatsOn only and fails (exit 1) if it
-// regressed more than -tolerance percent over the entry named by -against,
-// so CI catches fast-path regressions without re-running the full suite.
+// -check re-measures one fence benchmark only (BenchmarkTable2StatsOn, or
+// BenchmarkFleetIngest1024 with -fleet) and fails (exit 1) if it regressed
+// more than -tolerance percent over the entry named by -against, so CI
+// catches regressions without re-running the full suite.
 package main
 
 import (
@@ -46,38 +55,66 @@ type benchEntry struct {
 	NumCPU     int                `json:"num_cpu"`
 	Count      int                `json:"count"`
 	NsPerOp    map[string]float64 `json:"ns_per_op"`
+	// Metrics holds any secondary per-op metrics the benchmarks reported,
+	// keyed "BenchmarkName:unit/op" (e.g. wire_bytes/op).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
-// suite lists what to measure: package path, -bench regex, extra args.
-var suite = []struct {
+// benchSpec is one `go test -bench` invocation: package path, -bench regex,
+// extra args.
+type benchSpec struct {
 	pkg   string
 	bench string
 	extra []string
-}{
+}
+
+// suite lists the observation fast-path benchmarks.
+var suite = []benchSpec{
 	{".", "Table2Stats|MultiVMParallel", nil},
 	{"./internal/histogram", "^BenchmarkInsert$|^BenchmarkInsertParallel$", []string{"-cpu", "1,4"}},
 	{"./internal/fleet", "^BenchmarkFleetMerge$", nil},
 }
 
+// fleetSuite lists the fleet-tier benchmarks -fleet runs. The Mono
+// configurations reproduce the pre-shard single-mutex aggregator, so one
+// entry holds both the "before" and "after" numbers.
+var fleetSuite = []benchSpec{
+	{"./internal/fleet", "^BenchmarkFleetIngestScrape(Mono|Sharded)(256|1024)$|^BenchmarkFleetIngest1024$", nil},
+	{"./internal/fleet", "^BenchmarkFleetWireBytes(Full|Delta)$", nil},
+	{"./internal/fleet", "^BenchmarkFleetMerge(Cached|Uncached)$", nil},
+}
+
 func main() {
 	var (
-		file      = flag.String("file", "BENCH_fastpath.json", "benchmark record to read/update")
+		file      = flag.String("file", "", "benchmark record to read/update (default BENCH_fastpath.json, or BENCH_fleet.json with -fleet)")
 		label     = flag.String("label", "current", "entry label to record under with -update")
 		update    = flag.Bool("update", false, "record the measurements into -file (replaces an entry with the same label)")
 		count     = flag.Int("count", 5, "runs per benchmark; the minimum is kept")
 		benchtime = flag.String("benchtime", "", "per-run -benchtime (default: go test's 1s)")
-		check     = flag.Bool("check", false, "regression fence: re-measure Table2StatsOn and compare against -against")
+		fleet     = flag.Bool("fleet", false, "run the fleet-tier suite instead of the fast-path suite")
+		check     = flag.Bool("check", false, "regression fence: re-measure the fence benchmark and compare against -against")
 		against   = flag.String("against", "baseline", "entry label -check compares against")
 		tolerance = flag.Float64("tolerance", 25, "percent regression -check tolerates")
 	)
 	flag.Parse()
 
+	benches, fence, fencePkg := suite, "BenchmarkTable2StatsOn", "."
+	if *fleet {
+		benches, fence, fencePkg = fleetSuite, "BenchmarkFleetIngest1024", "./internal/fleet"
+	}
+	if *file == "" {
+		*file = "BENCH_fastpath.json"
+		if *fleet {
+			*file = "BENCH_fleet.json"
+		}
+	}
+
 	if *check {
-		os.Exit(runCheck(*file, *against, *count, *benchtime, *tolerance))
+		os.Exit(runCheck(*file, *against, fence, fencePkg, *count, *benchtime, *tolerance))
 	}
 
 	results := make(map[string]float64)
-	for _, s := range suite {
+	for _, s := range benches {
 		if err := runBench(s.pkg, s.bench, *count, *benchtime, s.extra, results); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -88,6 +125,7 @@ func main() {
 	if !*update {
 		return
 	}
+	ns, metrics := splitResults(results)
 	entry := benchEntry{
 		Label:      *label,
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -95,9 +133,16 @@ func main() {
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Count:      *count,
-		NsPerOp:    results,
+		NsPerOp:    ns,
+		Metrics:    metrics,
 	}
-	if err := record(*file, entry); err != nil {
+	note := "min-of-N ns/op for the observation fast path; maintained by cmd/benchfastpath"
+	if *fleet {
+		note = "min-of-N fleet-tier numbers (Mono = pre-shard single-mutex aggregator; " +
+			"measured on 1 CPU, so the sharded win is the merge cache, not parallel ingest); " +
+			"maintained by cmd/benchfastpath -fleet"
+	}
+	if err := record(*file, note, entry); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
@@ -125,35 +170,63 @@ func runBench(pkg, bench string, count int, benchtime string, extra []string, re
 	}
 	sc := bufio.NewScanner(&out)
 	for sc.Scan() {
-		name, ns, ok := parseBenchLine(sc.Text())
-		if !ok {
-			continue
-		}
-		if prev, seen := results[name]; !seen || ns < prev {
-			results[name] = ns
+		for key, v := range parseBenchLine(sc.Text()) {
+			if prev, seen := results[key]; !seen || v < prev {
+				results[key] = v
+			}
 		}
 	}
 	return sc.Err()
 }
 
-// parseBenchLine extracts (name, ns/op) from a `go test -bench` result line:
+// parseBenchLine extracts every per-op metric from a `go test -bench`
+// result line:
 //
-//	BenchmarkInsertParallel-4   43503771   25.17 ns/op
-func parseBenchLine(line string) (string, float64, bool) {
+//	BenchmarkFleetWireBytesFull   1226   970947 ns/op   3599 wire_bytes/op
+//
+// ns/op is keyed by the bare benchmark name (the historical shape of
+// BENCH_fastpath.json); every other unit is keyed "name:unit/op".
+func parseBenchLine(line string) map[string]float64 {
 	if !strings.HasPrefix(line, "Benchmark") {
-		return "", 0, false
+		return nil
 	}
 	f := strings.Fields(line)
+	var out map[string]float64
 	for i := 2; i < len(f); i++ {
-		if f[i] == "ns/op" {
-			ns, err := strconv.ParseFloat(f[i-1], 64)
-			if err != nil {
-				return "", 0, false
+		if !strings.HasSuffix(f[i], "/op") {
+			continue
+		}
+		v, err := strconv.ParseFloat(f[i-1], 64)
+		if err != nil {
+			continue
+		}
+		key := f[0]
+		if f[i] != "ns/op" {
+			key = f[0] + ":" + f[i]
+		}
+		if out == nil {
+			out = make(map[string]float64)
+		}
+		out[key] = v
+	}
+	return out
+}
+
+// splitResults separates bare-name ns/op entries from "name:unit/op"
+// secondary metrics.
+func splitResults(results map[string]float64) (ns, metrics map[string]float64) {
+	ns = make(map[string]float64)
+	for k, v := range results {
+		if strings.Contains(k, ":") {
+			if metrics == nil {
+				metrics = make(map[string]float64)
 			}
-			return f[0], ns, true
+			metrics[k] = v
+		} else {
+			ns[k] = v
 		}
 	}
-	return "", 0, false
+	return ns, metrics
 }
 
 func printTable(results map[string]float64) {
@@ -168,13 +241,18 @@ func printTable(results map[string]float64) {
 		}
 	}
 	for _, n := range names {
-		fmt.Printf("%-34s %12.2f ns/op (min)\n", n, results[n])
+		unit := "ns/op"
+		name := n
+		if i := strings.IndexByte(n, ':'); i >= 0 {
+			name, unit = n[:i], n[i+1:]
+		}
+		fmt.Printf("%-40s %12.2f %s (min)\n", name, results[n], unit)
 	}
 }
 
 // record loads the JSON file (if any), replaces or appends the entry, and
 // writes it back.
-func record(path string, entry benchEntry) error {
+func record(path, note string, entry benchEntry) error {
 	var f benchFile
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &f); err != nil {
@@ -184,7 +262,7 @@ func record(path string, entry benchEntry) error {
 		return err
 	}
 	if f.Note == "" {
-		f.Note = "min-of-N ns/op for the observation fast path; maintained by cmd/benchfastpath"
+		f.Note = note
 	}
 	replaced := false
 	for i := range f.Entries {
@@ -203,9 +281,9 @@ func record(path string, entry benchEntry) error {
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
-// runCheck is the CI fence: measure Table2StatsOn fresh, compare against
-// the recorded entry, and report pass/fail.
-func runCheck(path, against string, count int, benchtime string, tolerance float64) int {
+// runCheck is the CI fence: measure the fence benchmark fresh, compare
+// against the recorded entry, and report pass/fail.
+func runCheck(path, against, fence, fencePkg string, count int, benchtime string, tolerance float64) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchfastpath: %v\n", err)
@@ -219,28 +297,28 @@ func runCheck(path, against string, count int, benchtime string, tolerance float
 	var ref float64
 	for _, e := range f.Entries {
 		if e.Label == against {
-			ref = e.NsPerOp["BenchmarkTable2StatsOn"]
+			ref = e.NsPerOp[fence]
 		}
 	}
 	if ref == 0 {
-		fmt.Fprintf(os.Stderr, "benchfastpath: no BenchmarkTable2StatsOn under entry %q in %s\n", against, path)
+		fmt.Fprintf(os.Stderr, "benchfastpath: no %s under entry %q in %s\n", fence, against, path)
 		return 1
 	}
 	results := make(map[string]float64)
-	if err := runBench(".", "^BenchmarkTable2StatsOn$", count, benchtime, nil, results); err != nil {
+	if err := runBench(fencePkg, "^"+fence+"$", count, benchtime, nil, results); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	got, ok := results["BenchmarkTable2StatsOn"]
+	got, ok := results[fence]
 	if !ok {
 		fmt.Fprintln(os.Stderr, "benchfastpath: benchmark produced no result")
 		return 1
 	}
 	limit := ref * (1 + tolerance/100)
-	fmt.Printf("Table2StatsOn: %.2f ns/op, %s %q: %.2f ns/op, limit +%.0f%%: %.2f ns/op\n",
-		got, path, against, ref, tolerance, limit)
+	fmt.Printf("%s: %.2f ns/op, %s %q: %.2f ns/op, limit +%.0f%%: %.2f ns/op\n",
+		strings.TrimPrefix(fence, "Benchmark"), got, path, against, ref, tolerance, limit)
 	if got > limit {
-		fmt.Printf("FAIL: fast path regressed %.1f%% over %q\n", (got/ref-1)*100, against)
+		fmt.Printf("FAIL: %s regressed %.1f%% over %q\n", strings.TrimPrefix(fence, "Benchmark"), (got/ref-1)*100, against)
 		return 1
 	}
 	fmt.Println("OK")

@@ -11,10 +11,16 @@
 //	vscsifleet -mode agent -host esx-01 -workload iometer-8k-rand \
 //	    -push http://127.0.0.1:9108/fleet/push -interval 2s
 //
-// The aggregator serves /fleet/hosts, /fleet/snapshot and /fleet/push,
-// plus /metrics (with the merged fleet_* series) and /healthz; agents
-// additionally expose their own full stats surface (-listen) so an
+// The aggregator serves /fleet/hosts, /fleet/snapshot, /fleet/shards and
+// /fleet/push, plus /metrics (with the merged fleet_* series) and /healthz;
+// agents additionally expose their own full stats surface (-listen) so an
 // aggregator can scatter-gather pull them instead of waiting for pushes.
+//
+// The aggregator shards its host space by consistent name hash (-shards)
+// and memoizes per-shard merges; agents push interval deltas once a full
+// push has been acknowledged (disable with -full-push) and resync
+// automatically across aggregator restarts. Pulls spread across the
+// -pull-interval in hashed phases with bounded concurrency.
 package main
 
 import (
@@ -35,14 +41,16 @@ func main() {
 
 		// Aggregator flags.
 		stale        = flag.Duration("stale", 6*time.Second, "aggregator: mark a host stale after this silence")
+		shards       = flag.Int("shards", 0, "aggregator: shard count for the host space (0 = default 16)")
 		pull         = flag.String("pull", "", "aggregator: comma-separated host=url pull endpoints to scrape")
-		pullInterval = flag.Duration("pull-interval", 0, "aggregator: scatter-gather the -pull endpoints this often (0 = pushes only)")
+		pullInterval = flag.Duration("pull-interval", 0, "aggregator: scrape the -pull endpoints once per interval, phase-spread (0 = pushes only)")
 
 		// Agent flags.
 		host     = flag.String("host", "", "agent: host name reported to the aggregator (default: hostname)")
 		push     = flag.String("push", "", "agent: aggregator push URL, e.g. http://aggr:9108/fleet/push")
 		interval = flag.Duration("interval", 2*time.Second, "agent: push interval")
 		workload = flag.String("workload", "iometer-8k-rand", "agent: scenario to simulate (see vscsistats -list)")
+		fullPush = flag.Bool("full-push", false, "agent: always push full state instead of interval deltas")
 		seed     = flag.Int64("seed", 1, "agent: simulation seed")
 		speed    = flag.Int("speed", 1, "agent: virtual seconds simulated per wall second")
 		duration = flag.Duration("duration", 0, "agent: stop after this wall-clock time (0 = run until interrupted)")
@@ -52,9 +60,9 @@ func main() {
 	var err error
 	switch *mode {
 	case "aggregator":
-		err = runAggregator(*listen, *stale, *pull, *pullInterval)
+		err = runAggregator(*listen, *stale, *shards, *pull, *pullInterval)
 	case "agent":
-		err = runAgent(*listen, *host, *push, *interval, *workload, *seed, *speed, *duration)
+		err = runAgent(*listen, *host, *push, *interval, *workload, *fullPush, *seed, *speed, *duration)
 	default:
 		err = fmt.Errorf("vscsifleet: -mode must be aggregator or agent")
 	}
@@ -64,11 +72,13 @@ func main() {
 	}
 }
 
-func runAggregator(listen string, stale time.Duration, pull string, pullInterval time.Duration) error {
+func runAggregator(listen string, stale time.Duration, shards int, pull string, pullInterval time.Duration) error {
 	if listen == "" {
 		listen = ":9108"
 	}
-	agg := vscsistats.NewFleetAggregator(vscsistats.FleetAggregatorConfig{StaleAfter: stale})
+	agg := vscsistats.NewFleetAggregator(vscsistats.FleetAggregatorConfig{
+		StaleAfter: stale, Shards: shards,
+	})
 	if pull != "" {
 		for _, spec := range strings.Split(pull, ",") {
 			host, url, ok := strings.Cut(strings.TrimSpace(spec), "=")
@@ -79,13 +89,10 @@ func runAggregator(listen string, stale time.Duration, pull string, pullInterval
 		}
 	}
 	if pullInterval > 0 {
-		go func() {
-			for range time.Tick(pullInterval) {
-				for host, err := range agg.PullAll() {
-					fmt.Fprintf(os.Stderr, "pull %s: %v\n", host, err)
-				}
-			}
-		}()
+		// PullLoop spreads the watched hosts across the interval in hashed
+		// phases and bounds in-flight pulls, so a large or slow fleet never
+		// produces a thundering herd (or a goroutine pile-up) here.
+		go agg.PullLoop(nil, pullInterval)
 	}
 
 	// The aggregator has no local disks; its registry exists so the stats
@@ -95,12 +102,12 @@ func runAggregator(listen string, stale time.Duration, pull string, pullInterval
 		Metrics: vscsistats.NewMetricsExporter(reg).WithFleet(agg),
 		Fleet:   agg,
 	})
-	fmt.Fprintf(os.Stderr, "aggregator on %s (/fleet/hosts, /fleet/snapshot, /fleet/push, /metrics, /healthz; stale after %s)\n",
-		listen, stale)
+	fmt.Fprintf(os.Stderr, "aggregator on %s (%d shards; /fleet/hosts, /fleet/snapshot, /fleet/shards, /fleet/push, /metrics, /healthz; stale after %s)\n",
+		listen, agg.NumShards(), stale)
 	return http.ListenAndServe(listen, handler)
 }
 
-func runAgent(listen, host, push string, interval time.Duration, workload string, seed int64, speed int, duration time.Duration) error {
+func runAgent(listen, host, push string, interval time.Duration, workload string, fullPush bool, seed int64, speed int, duration time.Duration) error {
 	if host == "" {
 		host, _ = os.Hostname()
 		if host == "" {
@@ -120,7 +127,7 @@ func runAgent(listen, host, push string, interval time.Duration, workload string
 	reg := sc.Host.Registry()
 
 	agent := vscsistats.NewFleetAgent(reg, vscsistats.FleetAgentConfig{
-		Host: host, Endpoint: push, Interval: interval,
+		Host: host, Endpoint: push, Interval: interval, DisableDeltas: fullPush,
 	})
 	if push != "" {
 		agent.Start()
@@ -154,8 +161,8 @@ func runAgent(listen, host, push string, interval time.Duration, workload string
 			if push != "" {
 				agent.PushNow()
 				st := agent.Stats()
-				fmt.Fprintf(os.Stderr, "agent %s done: %d pushes, %d errors, %d dropped\n",
-					host, st.Pushes, st.Errors, st.Dropped)
+				fmt.Fprintf(os.Stderr, "agent %s done: %d pushes (%d deltas, %d resyncs), %d errors, %d dropped\n",
+					host, st.Pushes, st.DeltaPushes, st.Resyncs, st.Errors, st.Dropped)
 			}
 			return nil
 		}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+// deltaFeed drives n randomized commands through col, exercising every
+// histogram family (reads/writes, seeks both directions, queue depths,
+// latencies, the occasional error).
+func deltaFeed(t *testing.T, rng *rand.Rand, col *Collector, n int) {
+	t.Helper()
+	lba := uint64(rng.Intn(1 << 20))
+	now := simclock.Time(rng.Intn(1000)) * simclock.Millisecond
+	for i := 0; i < n; i++ {
+		var cmd scsi.Command
+		if rng.Intn(2) == 0 {
+			cmd = scsi.Read(lba, uint32(1+rng.Intn(64)))
+		} else {
+			cmd = scsi.Write(lba, uint32(1+rng.Intn(64)))
+		}
+		r := &vscsi.Request{
+			Cmd:                cmd,
+			IssueTime:          now,
+			CompleteTime:       now + simclock.Time(50+rng.Intn(3000))*simclock.Microsecond,
+			OutstandingAtIssue: rng.Intn(32),
+			Status:             scsi.StatusGood,
+		}
+		if rng.Intn(23) == 0 {
+			r.Status = scsi.StatusCheckCondition
+		}
+		col.OnIssue(r)
+		col.OnComplete(r)
+		lba = uint64(int64(lba) + rng.Int63n(1<<16) - 1<<15)
+		now += simclock.Time(rng.Intn(900)+10) * simclock.Microsecond
+	}
+}
+
+// TestApplyDeltaReconstructsExactly is the randomized property test for the
+// delta identity the fleet push protocol depends on: for any chain of
+// snapshots s0, s1, ..., sk of one collector,
+//
+//	sk == s0.ApplyDelta(s1.Sub(s0)).ApplyDelta(s2.Sub(s1))...
+//
+// bin-exactly across all six metrics and all three classes — full state
+// equals the sum of its deltas.
+func TestApplyDeltaReconstructsExactly(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		col := NewCollector("vm", "disk")
+		col.Enable()
+		deltaFeed(t, rng, col, rng.Intn(300))
+		state := col.Snapshot()
+		prev := state
+		for round := 0; round < 5; round++ {
+			deltaFeed(t, rng, col, rng.Intn(200))
+			cur := col.Snapshot()
+			state = state.ApplyDelta(cur.Sub(prev))
+			prev = cur
+			if !state.StateEquals(cur) {
+				t.Fatalf("trial %d round %d: delta-reassembled state diverged from the live snapshot", trial, round)
+			}
+		}
+	}
+}
+
+// TestApplyDeltaEmptyIntervalIsIdentity pins the degenerate case: a delta
+// between two identical snapshots reapplies to exactly the same state,
+// extrema included.
+func TestApplyDeltaEmptyIntervalIsIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	col := NewCollector("vm", "disk")
+	col.Enable()
+	deltaFeed(t, rng, col, 150)
+	a := col.Snapshot()
+	b := col.Snapshot()
+	d := b.Sub(a)
+	if d.Commands != 0 {
+		t.Fatalf("empty interval has %d commands", d.Commands)
+	}
+	if got := a.ApplyDelta(d); !got.StateEquals(a) {
+		t.Fatal("identity delta changed the state")
+	}
+	if !a.StateEquals(b) {
+		t.Fatal("two back-to-back snapshots of an idle collector differ")
+	}
+}
+
+// TestStateEqualsDetectsAnyChange feeds one extra command and asserts
+// StateEquals flips — the guard that lets the agent omit only genuinely
+// unchanged disks from delta batches.
+func TestStateEqualsDetectsAnyChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	col := NewCollector("vm", "disk")
+	col.Enable()
+	deltaFeed(t, rng, col, 100)
+	before := col.Snapshot()
+	deltaFeed(t, rng, col, 1)
+	after := col.Snapshot()
+	if before.StateEquals(after) {
+		t.Fatal("StateEquals missed a one-command change")
+	}
+	if !after.StateEquals(after) {
+		t.Fatal("StateEquals is not reflexive")
+	}
+}

@@ -158,6 +158,80 @@ func (s *Snapshot) Sub(earlier *Snapshot) *Snapshot {
 	return d
 }
 
+// ApplyDelta returns the snapshot equal to s plus the interval delta d
+// (as produced by Sub): counters add and every histogram reapplies
+// bin-wise, so for any two snapshots of one collector
+//
+//	later == earlier.ApplyDelta(later.Sub(earlier))
+//
+// exactly, across all six metrics and three classes. The receiver and the
+// delta are left untouched; the result is freshly allocated. This is the
+// aggregator side of the fleet delta-push protocol.
+func (s *Snapshot) ApplyDelta(d *Snapshot) *Snapshot {
+	out := &Snapshot{
+		VM:           s.VM,
+		Disk:         s.Disk,
+		SeekWindowed: s.SeekWindowed.ApplyDelta(d.SeekWindowed),
+		Commands:     s.Commands + d.Commands,
+		NumReads:     s.NumReads + d.NumReads,
+		NumWrites:    s.NumWrites + d.NumWrites,
+		ReadBytes:    s.ReadBytes + d.ReadBytes,
+		WriteBytes:   s.WriteBytes + d.WriteBytes,
+		Errors:       s.Errors + d.Errors,
+	}
+	for class := 0; class < 3; class++ {
+		out.IOLength[class] = s.IOLength[class].ApplyDelta(d.IOLength[class])
+		out.SeekDistance[class] = s.SeekDistance[class].ApplyDelta(d.SeekDistance[class])
+		out.Outstanding[class] = s.Outstanding[class].ApplyDelta(d.Outstanding[class])
+		out.Latency[class] = s.Latency[class].ApplyDelta(d.Latency[class])
+		out.Interarrival[class] = s.Interarrival[class].ApplyDelta(d.Interarrival[class])
+	}
+	return out
+}
+
+// StateEquals reports whether two snapshots carry identical observed state:
+// every counter and, per histogram, total, sum, extrema and each bin. Names
+// (VM/Disk) are not compared — rollups rename. A fleet agent uses this to
+// omit unchanged disks from delta pushes, so it must be exact, not
+// approximate: if StateEquals holds, replaying nothing reconstructs o
+// from s.
+func (s *Snapshot) StateEquals(o *Snapshot) bool {
+	if s == nil || o == nil {
+		return s == o
+	}
+	if s.Commands != o.Commands || s.NumReads != o.NumReads || s.NumWrites != o.NumWrites ||
+		s.ReadBytes != o.ReadBytes || s.WriteBytes != o.WriteBytes || s.Errors != o.Errors {
+		return false
+	}
+	for _, m := range Metrics() {
+		classes := []Class{All, Reads, Writes}
+		if m == MetricSeekWindowed {
+			classes = classes[:1]
+		}
+		for _, cl := range classes {
+			ha, hb := s.Histogram(m, cl), o.Histogram(m, cl)
+			if ha == nil || hb == nil {
+				if ha != hb {
+					return false
+				}
+				continue
+			}
+			if ha.Total != hb.Total || ha.Sum != hb.Sum || ha.Min != hb.Min || ha.Max != hb.Max {
+				return false
+			}
+			if len(ha.Counts) != len(hb.Counts) {
+				return false
+			}
+			for i := range ha.Counts {
+				if ha.Counts[i] != hb.Counts[i] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
 // Summary renders a one-screen textual overview: counters plus the modal
 // bin of each primary histogram.
 func (s *Snapshot) Summary() string {

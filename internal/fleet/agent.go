@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -12,6 +13,13 @@ import (
 
 	"vscsistats/internal/core"
 )
+
+// errResync reports a delta push the aggregator refused with a 4xx: the
+// base the delta was built on is gone (aggregator restart, seq gap) or the
+// frame was otherwise unappliable. The agent's reaction is always the
+// same — clear the acknowledged base and push full state — so every 4xx
+// on a delta folds into this one error.
+var errResync = errors.New("fleet: aggregator requested resync")
 
 // AgentConfig tunes a fleet agent. Zero values take the documented
 // defaults.
@@ -34,6 +42,13 @@ type AgentConfig struct {
 	// MaxBackoff caps the exponential backoff between failed pushes
 	// (default 30s; the first retry waits Interval).
 	MaxBackoff time.Duration
+	// DisableDeltas forces every push to carry full cumulative state. By
+	// default, once a push has been acknowledged, the agent sends interval
+	// deltas against that acknowledged state — with unchanged disks
+	// omitted entirely — and falls back to a full push automatically
+	// whenever the aggregator cannot apply one (restart, sequence gap) or
+	// the registry's disk set changes.
+	DisableDeltas bool
 	// Client overrides the HTTP client (default: a dedicated client; the
 	// per-request timeout always comes from Timeout).
 	Client *http.Client
@@ -59,26 +74,67 @@ func (c *AgentConfig) withDefaults() AgentConfig {
 	return out
 }
 
-// Agent periodically serializes a registry's snapshots and pushes them to
-// an aggregator. All methods are safe for concurrent use; the push loop
-// runs on one background goroutine between Start and Stop.
+// queued is one registry capture awaiting delivery. The queue always holds
+// full cumulative state; whether a capture goes over the wire full or as a
+// delta is decided at flush time against the base acknowledged by then, so
+// a capture built while an older push was still in flight never carries a
+// stale base sequence.
+type queued struct {
+	seq          uint64
+	sentUnixNano int64
+	full         []*core.Snapshot
+}
+
+// ackedBase is the last registry state the aggregator acknowledged — the
+// state deltas are computed against. The aggregator's no-rollback ingest
+// guarantees it holds at least this sequence.
+type ackedBase struct {
+	seq  uint64
+	full []*core.Snapshot
+}
+
+// Agent periodically captures a registry's snapshots and pushes them to an
+// aggregator — full state until first acknowledged, interval deltas after.
+// All methods are safe for concurrent use. Between Start and Stop two
+// goroutines run: a builder that only captures and enqueues on each tick,
+// and a flusher that does all network I/O — so a slow or dead aggregator
+// never delays a capture, and the retry queue keeps recording state at
+// every interval regardless of what the network is doing.
 type Agent struct {
 	cfg AgentConfig
 	reg *core.Registry
 
 	seq atomic.Uint64
 
-	// mu guards the retry queue and the backoff schedule.
-	mu       sync.Mutex
-	queue    []*Batch
+	// qmu guards only the capture queue — the builder's hot path. It is
+	// never held across network I/O or while computing backoff.
+	qmu   sync.Mutex
+	queue []*queued
+
+	// bmu guards the backoff schedule and its jitter RNG, deliberately
+	// split from qmu: a flusher stuck computing backoff (or a Stats call
+	// reading it) cannot block buildBatch/enqueue.
+	bmu      sync.Mutex
 	failures int       // consecutive failed flushes
 	notUntil time.Time // backoff gate: no network attempt before this
+	rng      *rand.Rand
 
-	pushes     atomic.Int64
-	pushErrors atomic.Int64
-	retries    atomic.Int64
-	dropped    atomic.Int64
-	sentBytes  atomic.Int64
+	// baseMu guards the delta base. Flushers update it on every ack.
+	baseMu sync.Mutex
+	base   *ackedBase // nil until the first acknowledged push
+
+	// flushMu single-flights flush: deltas are computed against the base
+	// at flush time, so two interleaved flushes could otherwise both build
+	// deltas on a base one of them is about to advance.
+	flushMu sync.Mutex
+
+	pushes      atomic.Int64
+	deltaPushes atomic.Int64
+	pushErrors  atomic.Int64
+	retries     atomic.Int64
+	dropped     atomic.Int64
+	resyncs     atomic.Int64
+	sentBytes   atomic.Int64
 
 	lastErr atomic.Pointer[string]
 
@@ -86,9 +142,6 @@ type Agent struct {
 	stopOnce  sync.Once
 	stop      chan struct{}
 	done      chan struct{}
-
-	// rng drives backoff jitter; guarded by mu.
-	rng *rand.Rand
 }
 
 // NewAgent builds an agent over the registry. It does not start pushing;
@@ -127,83 +180,215 @@ func (a *Agent) Stop() {
 
 func (a *Agent) run() {
 	defer close(a.done)
+	// The flusher owns all network I/O; the builder below only captures
+	// and enqueues, then kicks the flusher. kick has a buffer of one: a
+	// kick during a slow flush coalesces with the next drain rather than
+	// piling up.
+	kick := make(chan struct{}, 1)
+	var flusher sync.WaitGroup
+	flusher.Add(1)
+	go func() {
+		defer flusher.Done()
+		for {
+			select {
+			case <-a.stop:
+				return
+			case <-kick:
+				a.flush(time.Now())
+			}
+		}
+	}()
 	t := time.NewTicker(a.cfg.Interval)
 	defer t.Stop()
 	for {
 		select {
 		case <-a.stop:
+			flusher.Wait()
 			return
 		case <-t.C:
 			a.enqueue(a.buildBatch())
-			a.flush(time.Now())
+			select {
+			case kick <- struct{}{}:
+			default:
+			}
 		}
 	}
 }
 
-// PushNow builds a batch from the registry and flushes the queue
-// synchronously, ignoring the backoff gate — the deterministic push used
-// by tests and by operators forcing a final flush. It returns the first
-// flush error, if any.
+// PushNow captures the registry and flushes the queue synchronously,
+// ignoring the backoff gate — the deterministic push used by tests and by
+// operators forcing a final flush. It returns the first flush error, if
+// any.
 func (a *Agent) PushNow() error {
 	a.enqueue(a.buildBatch())
-	a.mu.Lock()
+	a.bmu.Lock()
 	a.notUntil = time.Time{}
-	a.mu.Unlock()
+	a.bmu.Unlock()
 	return a.flush(time.Now())
 }
 
-// buildBatch snapshots the registry into a sequenced batch.
-func (a *Agent) buildBatch() *Batch {
-	return &Batch{
-		Host:         a.cfg.Host,
-		Seq:          a.seq.Add(1),
-		SentUnixNano: time.Now().UnixNano(),
-		Snapshots:    a.reg.Snapshots(),
+// buildBatch captures the registry into a sequenced queue entry. No locks
+// beyond the registry's own and no network: this is the path that must
+// stay fast however sick the aggregator is.
+func (a *Agent) buildBatch() *queued {
+	return &queued{
+		seq:          a.seq.Add(1),
+		sentUnixNano: time.Now().UnixNano(),
+		full:         a.reg.Snapshots(),
 	}
 }
 
-// enqueue appends b to the retry queue, dropping the oldest batch when the
-// queue is full.
-func (a *Agent) enqueue(b *Batch) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
+// enqueue appends q to the capture queue, dropping the oldest entry when
+// the queue is full.
+func (a *Agent) enqueue(q *queued) {
+	a.qmu.Lock()
+	defer a.qmu.Unlock()
 	if len(a.queue) >= a.cfg.MaxRetryQueue {
 		a.queue = a.queue[1:]
 		a.dropped.Add(1)
 	}
-	a.queue = append(a.queue, b)
+	a.queue = append(a.queue, q)
 }
 
-// flush pushes queued batches oldest-first until the queue drains or a
-// push fails. A failure schedules the next attempt with exponential
-// backoff plus ±20% jitter; batches queued in the meantime wait for it.
+// currentBase reads the acknowledged base.
+func (a *Agent) currentBase() *ackedBase {
+	a.baseMu.Lock()
+	defer a.baseMu.Unlock()
+	return a.base
+}
+
+// advanceBase records q as acknowledged, monotonically.
+func (a *Agent) advanceBase(q *queued) {
+	a.baseMu.Lock()
+	defer a.baseMu.Unlock()
+	if a.base == nil || q.seq > a.base.seq {
+		a.base = &ackedBase{seq: q.seq, full: q.full}
+	}
+}
+
+// clearBase forgets the acknowledged base; the next wire batch is full.
+func (a *Agent) clearBase() {
+	a.baseMu.Lock()
+	a.base = nil
+	a.baseMu.Unlock()
+}
+
+// makeWire renders a queue entry for the wire: a delta against the current
+// acknowledged base when one exists and the disk sets line up (with
+// unchanged disks omitted — on a slowly-changing fleet most of the frame
+// vanishes), a full batch otherwise.
+func (a *Agent) makeWire(q *queued) *Batch {
+	b := &Batch{
+		Host:         a.cfg.Host,
+		Seq:          q.seq,
+		SentUnixNano: q.sentUnixNano,
+		Snapshots:    q.full,
+	}
+	if a.cfg.DisableDeltas {
+		return b
+	}
+	base := a.currentBase()
+	if base == nil || q.seq <= base.seq {
+		return b
+	}
+	deltas, ok := subAgainst(q.full, base.full)
+	if !ok {
+		return b
+	}
+	b.Delta = true
+	b.BaseSeq = base.seq
+	b.Snapshots = deltas
+	return b
+}
+
+// subAgainst pairs cur with base by (VM, disk) and returns the non-zero
+// interval deltas. It refuses (ok=false) when the disk sets differ — a
+// disk appeared or vanished — which forces a full push carrying the new
+// set.
+func subAgainst(cur, base []*core.Snapshot) ([]*core.Snapshot, bool) {
+	if len(cur) != len(base) {
+		return nil, false
+	}
+	byKey := make(map[diskKey]*core.Snapshot, len(base))
+	for _, s := range base {
+		byKey[diskKey{s.VM, s.Disk}] = s
+	}
+	deltas := make([]*core.Snapshot, 0, len(cur))
+	for _, s := range cur {
+		b, ok := byKey[diskKey{s.VM, s.Disk}]
+		if !ok {
+			return nil, false
+		}
+		if s.StateEquals(b) {
+			continue // unchanged since the base: omit entirely
+		}
+		deltas = append(deltas, s.Sub(b))
+	}
+	return deltas, true
+}
+
+// flush delivers queued captures oldest-first until the queue drains or a
+// push fails. Single-flighted: deltas are computed against the base at
+// send time, and only one sender may advance that base. A failure
+// schedules the next attempt with exponential backoff plus ±20% jitter;
+// captures enqueued in the meantime wait for it. A resync refusal is not a
+// failure: the agent clears its base and immediately retries the same
+// capture as full state.
 func (a *Agent) flush(now time.Time) error {
 	if a.cfg.Endpoint == "" {
 		return nil
 	}
-	a.mu.Lock()
-	if now.Before(a.notUntil) {
-		a.mu.Unlock()
+	a.bmu.Lock()
+	gated := now.Before(a.notUntil)
+	a.bmu.Unlock()
+	if gated {
 		return nil
 	}
-	a.mu.Unlock()
+	a.flushMu.Lock()
+	defer a.flushMu.Unlock()
 	for {
-		a.mu.Lock()
+		a.qmu.Lock()
 		if len(a.queue) == 0 {
+			a.qmu.Unlock()
+			a.bmu.Lock()
 			a.failures = 0
 			a.notUntil = time.Time{}
-			a.mu.Unlock()
+			a.bmu.Unlock()
 			return nil
 		}
-		b := a.queue[0]
-		if b.Seq < a.seq.Load() {
+		q := a.queue[0]
+		a.qmu.Unlock()
+
+		if base := a.currentBase(); base != nil && q.seq <= base.seq {
+			// Superseded: the aggregator already acknowledged newer state.
+			a.dequeueThrough(q.seq)
+			continue
+		}
+		if q.seq < a.seq.Load() {
 			a.retries.Add(1)
 		}
-		a.mu.Unlock()
 
-		err := a.push(b)
-		a.mu.Lock()
-		if err != nil {
+		wire := a.makeWire(q)
+		err := a.push(wire)
+		switch {
+		case err == nil:
+			a.advanceBase(q)
+			a.dequeueThrough(q.seq)
+			a.bmu.Lock()
+			a.failures = 0
+			a.bmu.Unlock()
+			a.pushes.Add(1)
+			if wire.Delta {
+				a.deltaPushes.Add(1)
+			}
+		case errors.Is(err, errResync) && wire.Delta:
+			// The aggregator lost our base (restart) or we skipped past it
+			// (gap). Forget the base and re-send this same capture as full
+			// state, immediately — resync is protocol, not failure.
+			a.resyncs.Add(1)
+			a.clearBase()
+		default:
+			a.bmu.Lock()
 			a.failures++
 			backoff := a.cfg.Interval << (a.failures - 1)
 			if backoff > a.cfg.MaxBackoff || backoff <= 0 {
@@ -213,25 +398,28 @@ func (a *Agent) flush(now time.Time) error {
 			// does not retry together.
 			jitter := time.Duration(a.rng.Int63n(int64(backoff)/5+1)) - backoff/10
 			a.notUntil = now.Add(backoff + jitter)
-			a.mu.Unlock()
+			a.bmu.Unlock()
 			a.pushErrors.Add(1)
 			msg := err.Error()
 			a.lastErr.Store(&msg)
 			return err
 		}
-		// Drop this batch and every older one still queued (cumulative
-		// batches: a newer delivery supersedes all earlier state).
-		rest := a.queue[:0]
-		for _, q := range a.queue {
-			if q.Seq > b.Seq {
-				rest = append(rest, q)
-			}
-		}
-		a.queue = rest
-		a.failures = 0
-		a.mu.Unlock()
-		a.pushes.Add(1)
 	}
+}
+
+// dequeueThrough removes every queued capture with seq <= through —
+// delivered or superseded state (captures are cumulative, so a newer
+// delivery carries everything an older one did).
+func (a *Agent) dequeueThrough(through uint64) {
+	a.qmu.Lock()
+	defer a.qmu.Unlock()
+	rest := a.queue[:0]
+	for _, q := range a.queue {
+		if q.seq > through {
+			rest = append(rest, q)
+		}
+	}
+	a.queue = rest
 }
 
 // push sends one batch with the per-request timeout.
@@ -254,6 +442,12 @@ func (a *Agent) push(b *Batch) error {
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	if resp.StatusCode != http.StatusOK {
+		// Any 4xx on a delta means this frame can never be applied as-is;
+		// re-sending full state is the only road forward. 5xx and
+		// transport errors stay retryable failures.
+		if b.Delta && resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			return fmt.Errorf("%w (aggregator returned %s)", errResync, resp.Status)
+		}
 		return fmt.Errorf("fleet: aggregator returned %s", resp.Status)
 	}
 	a.sentBytes.Add(int64(len(body)))
@@ -261,7 +455,8 @@ func (a *Agent) push(b *Batch) error {
 }
 
 // PullHandler returns an http.Handler serving the agent's current state as
-// one frame — the scrape side of the protocol. GET only.
+// one full-state frame — the scrape side of the protocol (pulls carry no
+// ack channel, so they are never deltas). GET only.
 func (a *Agent) PullHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet && r.Method != http.MethodHead {
@@ -273,16 +468,21 @@ func (a *Agent) PullHandler() http.Handler {
 		if r.Method == http.MethodHead {
 			return
 		}
-		EncodeBatch(w, a.buildBatch())
+		q := a.buildBatch()
+		EncodeBatch(w, &Batch{
+			Host: a.cfg.Host, Seq: q.seq, SentUnixNano: q.sentUnixNano, Snapshots: q.full,
+		})
 	})
 }
 
 // AgentStats is a point-in-time copy of the agent's counters.
 type AgentStats struct {
-	// Pushes counts batches delivered; Errors counts failed delivery
-	// attempts; Retries counts deliveries of batches older than the
-	// newest; Dropped counts batches evicted from the full retry queue.
-	Pushes, Errors, Retries, Dropped int64
+	// Pushes counts batches delivered; DeltaPushes the subset that went
+	// over the wire as interval deltas; Errors counts failed delivery
+	// attempts; Retries counts deliveries of captures older than the
+	// newest; Dropped counts captures evicted from the full retry queue;
+	// Resyncs counts delta refusals answered with a full-state push.
+	Pushes, DeltaPushes, Errors, Retries, Dropped, Resyncs int64
 	// SentBytes totals the wire bytes of delivered batches.
 	SentBytes int64
 	// QueueLen is the current retry-queue depth and Failures the current
@@ -294,17 +494,22 @@ type AgentStats struct {
 
 // Stats returns the agent's counters.
 func (a *Agent) Stats() AgentStats {
-	a.mu.Lock()
-	qlen, failures := len(a.queue), a.failures
-	a.mu.Unlock()
+	a.qmu.Lock()
+	qlen := len(a.queue)
+	a.qmu.Unlock()
+	a.bmu.Lock()
+	failures := a.failures
+	a.bmu.Unlock()
 	s := AgentStats{
-		Pushes:    a.pushes.Load(),
-		Errors:    a.pushErrors.Load(),
-		Retries:   a.retries.Load(),
-		Dropped:   a.dropped.Load(),
-		SentBytes: a.sentBytes.Load(),
-		QueueLen:  qlen,
-		Failures:  failures,
+		Pushes:      a.pushes.Load(),
+		DeltaPushes: a.deltaPushes.Load(),
+		Errors:      a.pushErrors.Load(),
+		Retries:     a.retries.Load(),
+		Dropped:     a.dropped.Load(),
+		Resyncs:     a.resyncs.Load(),
+		SentBytes:   a.sentBytes.Load(),
+		QueueLen:    qlen,
+		Failures:    failures,
 	}
 	if msg := a.lastErr.Load(); msg != nil {
 		s.LastError = *msg

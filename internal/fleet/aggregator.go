@@ -2,6 +2,7 @@ package fleet
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -15,6 +16,18 @@ import (
 	"vscsistats/internal/telemetry"
 )
 
+// ErrResyncRequired reports a delta batch the aggregator cannot apply: the
+// host is unknown (aggregator restart), the delta's base sequence does not
+// match the stored sequence (a dropped batch opened a gap), or the delta
+// names a disk with no base state. The HTTP surface maps it to 409; an
+// agent that sees it falls back to a full-state push, which always
+// succeeds and re-establishes the chain.
+var ErrResyncRequired = errors.New("fleet: resync required")
+
+// pullSlots is the number of phase buckets PullLoop spreads watched hosts
+// across within one interval.
+const pullSlots = 32
+
 // AggregatorConfig tunes a fleet aggregator. Zero values take the
 // documented defaults.
 type AggregatorConfig struct {
@@ -23,8 +36,22 @@ type AggregatorConfig struct {
 	// (default 10s; set it to a small multiple of the agents' push
 	// interval).
 	StaleAfter time.Duration
+	// Shards splits the host space into independent slices by consistent
+	// host-name hash (default 16, clamped to [1, 4096]). Each shard has
+	// its own lock, host map and merge cache, so ingest scales across
+	// cores and a scrape re-merges only the shards that changed. Shards=1
+	// reproduces the former single-mutex aggregator.
+	Shards int
+	// DisableMergeCache turns off per-shard merge memoization. The cache
+	// is bin-exact, so this exists only for benchmarks (measuring the
+	// uncached cost) and debugging.
+	DisableMergeCache bool
 	// PullTimeout bounds each scatter-gather pull request (default 2s).
 	PullTimeout time.Duration
+	// PullConcurrency bounds how many pulls are in flight at once, for
+	// PullAll and PullLoop both (default 16). A slow fleet backs pressure
+	// up into the pull schedule instead of spawning a goroutine per host.
+	PullConcurrency int
 	// Client overrides the HTTP client used for pulls.
 	Client *http.Client
 }
@@ -34,8 +61,17 @@ func (c *AggregatorConfig) withDefaults() AggregatorConfig {
 	if out.StaleAfter <= 0 {
 		out.StaleAfter = 10 * time.Second
 	}
+	if out.Shards <= 0 {
+		out.Shards = 16
+	}
+	if out.Shards > 4096 {
+		out.Shards = 4096
+	}
 	if out.PullTimeout <= 0 {
 		out.PullTimeout = 2 * time.Second
+	}
+	if out.PullConcurrency <= 0 {
+		out.PullConcurrency = 16
 	}
 	if out.Client == nil {
 		out.Client = &http.Client{}
@@ -54,21 +90,24 @@ type hostState struct {
 	snaps        []*core.Snapshot
 }
 
-// Aggregator accepts pushed batches, scatter-gathers pulls from registered
-// agents, tracks per-host liveness, and merges per-host snapshots into
-// per-VM and cluster-wide histograms. All methods are safe for concurrent
-// use: any number of HTTP goroutines can ingest while others read merged
-// views.
+// Aggregator accepts pushed batches (full or delta), scatter-gathers pulls
+// from registered agents, tracks per-host liveness, and merges per-host
+// snapshots into per-VM and cluster-wide histograms. Hosts are sharded by
+// consistent name hash into independent slices, merged two-level: each
+// shard folds its own hosts (memoized until they change), then the shard
+// merges fold at the edge — bin-exactness makes the second level free. All
+// methods are safe for concurrent use: any number of HTTP goroutines can
+// ingest while others read merged views.
 type Aggregator struct {
 	cfg AggregatorConfig
 	// now is the wall clock, injectable for deterministic staleness tests.
 	now func() time.Time
 
-	mu    sync.RWMutex
-	hosts map[string]*hostState
+	shards []*shard
+
+	pmu   sync.RWMutex
 	pulls map[string]string // host -> pull URL
 
-	batches    atomic.Int64
 	rejected   atomic.Int64
 	pullErrors atomic.Int64
 	recvBytes  atomic.Int64
@@ -76,80 +115,88 @@ type Aggregator struct {
 
 // NewAggregator builds an empty aggregator.
 func NewAggregator(cfg AggregatorConfig) *Aggregator {
-	return &Aggregator{
+	g := &Aggregator{
 		cfg:   cfg.withDefaults(),
 		now:   time.Now,
-		hosts: make(map[string]*hostState),
 		pulls: make(map[string]string),
 	}
+	g.shards = make([]*shard, g.cfg.Shards)
+	for i := range g.shards {
+		g.shards[i] = newShard(i)
+	}
+	return g
 }
 
-// Ingest records a validated batch as the host's newest state. Batches
-// older than the newest sequence already seen refresh liveness but leave
-// the stored snapshots alone, so a late-arriving retry never rolls a host
-// backwards.
+// NumShards returns the aggregator's shard count.
+func (g *Aggregator) NumShards() int { return len(g.shards) }
+
+// ShardFor returns the shard index the host routes to — FNV-1a of the
+// name modulo the shard count, so any party knowing the count computes
+// the same answer.
+func (g *Aggregator) ShardFor(host string) int {
+	return int(shardHash(host) % uint32(len(g.shards)))
+}
+
+func (g *Aggregator) shardOf(host string) *shard {
+	return g.shards[g.ShardFor(host)]
+}
+
+// Ingest records a validated batch as the host's newest state. Full
+// batches older than the newest sequence already seen refresh liveness but
+// leave the stored snapshots alone, so a late-arriving retry never rolls a
+// host backwards. Delta batches apply onto the stored state when their
+// base sequence matches exactly and return ErrResyncRequired otherwise.
 func (g *Aggregator) Ingest(b *Batch, source string) error {
 	if err := b.Validate(); err != nil {
 		g.rejected.Add(1)
 		return err
 	}
-	now := g.now()
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	st := g.hosts[b.Host]
-	if st == nil {
-		st = &hostState{host: b.Host}
-		g.hosts[b.Host] = st
-	}
-	st.lastSeen = now
-	st.source = source
-	st.batches++
-	if b.Seq >= st.seq {
-		st.seq = b.Seq
-		st.sentUnixNano = b.SentUnixNano
-		st.snaps = b.Snapshots
-	}
-	g.batches.Add(1)
-	return nil
+	return g.shardOf(b.Host).ingest(b, source, g.now())
 }
 
 // Forget removes a host from the aggregator (and its pull registration).
 func (g *Aggregator) Forget(host string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	delete(g.hosts, host)
+	g.shardOf(host).forget(host)
+	g.pmu.Lock()
 	delete(g.pulls, host)
+	g.pmu.Unlock()
 }
 
 // Watch registers an agent's pull endpoint (its PullHandler URL) so
-// PullAll scrapes it. Watching a host that also pushes is harmless — the
-// newest sequence wins either way.
+// PullAll and PullLoop scrape it. Watching a host that also pushes is
+// harmless — the newest sequence wins either way.
 func (g *Aggregator) Watch(host, url string) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.pmu.Lock()
+	defer g.pmu.Unlock()
 	g.pulls[host] = url
 }
 
-// PullAll scrapes every watched endpoint concurrently, each bounded by
-// PullTimeout, and ingests what it gets. It returns the per-host errors
-// (empty map when every pull succeeded).
-func (g *Aggregator) PullAll() map[string]error {
-	g.mu.RLock()
+func (g *Aggregator) pullTargets() map[string]string {
+	g.pmu.RLock()
+	defer g.pmu.RUnlock()
 	targets := make(map[string]string, len(g.pulls))
 	for h, u := range g.pulls {
 		targets[h] = u
 	}
-	g.mu.RUnlock()
+	return targets
+}
 
+// PullAll scrapes every watched endpoint, at most PullConcurrency in
+// flight at once, each bounded by PullTimeout, and ingests what it gets.
+// It returns the per-host errors (empty map when every pull succeeded).
+func (g *Aggregator) PullAll() map[string]error {
 	var (
 		wg   sync.WaitGroup
 		errs = make(map[string]error)
 		emu  sync.Mutex
+		sem  = make(chan struct{}, g.cfg.PullConcurrency)
 	)
-	for host, url := range targets {
+	for host, url := range g.pullTargets() {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(host, url string) {
 			defer wg.Done()
+			defer func() { <-sem }()
 			if err := g.pullOne(host, url); err != nil {
 				g.pullErrors.Add(1)
 				emu.Lock()
@@ -160,6 +207,54 @@ func (g *Aggregator) PullAll() map[string]error {
 	}
 	wg.Wait()
 	return errs
+}
+
+// PullLoop scrapes every watched host once per interval until stop closes.
+// Each host is assigned a deterministic phase within the interval (a hash
+// of its name over pullSlots buckets), so a large fleet's pulls arrive as
+// a steady trickle across the whole interval instead of a thundering herd
+// at each boundary; in-flight pulls are bounded by PullConcurrency, and
+// when the fleet is slower than the schedule, the schedule waits (ticks
+// are dropped) rather than piling up goroutines. Hosts Watch()ed while
+// the loop runs join the schedule on their next phase.
+func (g *Aggregator) PullLoop(stop <-chan struct{}, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	slotD := interval / pullSlots
+	if slotD <= 0 {
+		slotD = time.Millisecond
+	}
+	tick := time.NewTicker(slotD)
+	defer tick.Stop()
+	sem := make(chan struct{}, g.cfg.PullConcurrency)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for slot := 0; ; slot = (slot + 1) % pullSlots {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+		}
+		for host, url := range g.pullTargets() {
+			if pullSlot(host) != slot {
+				continue
+			}
+			select {
+			case sem <- struct{}{}:
+			case <-stop:
+				return
+			}
+			wg.Add(1)
+			go func(host, url string) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				if err := g.pullOne(host, url); err != nil {
+					g.pullErrors.Add(1)
+				}
+			}(host, url)
+		}
+	}
 }
 
 // pullOne scrapes one agent and ingests the batch.
@@ -212,61 +307,40 @@ type HostStatus struct {
 // Hosts lists every known host sorted by name.
 func (g *Aggregator) Hosts() []HostStatus {
 	now := g.now()
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	out := make([]HostStatus, 0, len(g.hosts))
-	for _, st := range g.hosts {
-		age := now.Sub(st.lastSeen)
-		out = append(out, HostStatus{
-			Host:             st.host,
-			Source:           st.source,
-			Seq:              st.seq,
-			Batches:          st.batches,
-			Snapshots:        len(st.snaps),
-			LastSeenUnixNano: st.lastSeen.UnixNano(),
-			AgeSeconds:       age.Seconds(),
-			Stale:            age > g.cfg.StaleAfter,
-		})
+	var out []HostStatus
+	for _, sh := range g.shards {
+		out = sh.statuses(now, g.cfg.StaleAfter, out)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Host < out[j].Host })
 	return out
 }
 
-// liveSnapshots returns the newest snapshots of every host, skipping stale
-// hosts unless includeStale is set. Snapshots are immutable once ingested
-// and core.Aggregate copies before merging, so sharing them out is safe.
-func (g *Aggregator) liveSnapshots(includeStale bool) []*core.Snapshot {
-	now := g.now()
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	var out []*core.Snapshot
-	hosts := make([]string, 0, len(g.hosts))
-	for h := range g.hosts {
-		hosts = append(hosts, h)
-	}
-	sort.Strings(hosts)
-	for _, h := range hosts {
-		st := g.hosts[h]
-		if !includeStale && now.Sub(st.lastSeen) > g.cfg.StaleAfter {
-			continue
-		}
-		out = append(out, st.snaps...)
-	}
-	return out
-}
-
 // ClusterSnapshot merges every fresh host's disks into one cluster-wide
-// view (nil when no fresh host has reported).
+// view (nil when no fresh host has reported): each shard's memoized merge,
+// folded once more at the edge. Bin-exact layouts make the two-level merge
+// equal the flat one.
 func (g *Aggregator) ClusterSnapshot(includeStale bool) *core.Snapshot {
-	return core.Aggregate("cluster", "*", g.liveSnapshots(includeStale)...)
+	now := g.now()
+	var parts []*core.Snapshot
+	for _, sh := range g.shards {
+		if c, _ := sh.merged(now, g.cfg.StaleAfter, includeStale, !g.cfg.DisableMergeCache); c != nil {
+			parts = append(parts, c)
+		}
+	}
+	return core.Aggregate("cluster", "*", parts...)
 }
 
 // VMSnapshots merges each VM's disks across all fresh hosts, sorted by VM
-// name — the federated version of Registry.VMSnapshot.
+// name — the federated version of Registry.VMSnapshot. Shard-level per-VM
+// merges (memoized) combine across shards for VMs whose hosts span them.
 func (g *Aggregator) VMSnapshots(includeStale bool) []*core.Snapshot {
+	now := g.now()
 	byVM := make(map[string][]*core.Snapshot)
-	for _, s := range g.liveSnapshots(includeStale) {
-		byVM[s.VM] = append(byVM[s.VM], s)
+	for _, sh := range g.shards {
+		_, vms := sh.merged(now, g.cfg.StaleAfter, includeStale, !g.cfg.DisableMergeCache)
+		for _, s := range vms {
+			byVM[s.VM] = append(byVM[s.VM], s)
+		}
 	}
 	vms := make([]string, 0, len(byVM))
 	for vm := range byVM {
@@ -275,7 +349,13 @@ func (g *Aggregator) VMSnapshots(includeStale bool) []*core.Snapshot {
 	sort.Strings(vms)
 	out := make([]*core.Snapshot, 0, len(vms))
 	for _, vm := range vms {
-		out = append(out, core.Aggregate(vm, "*", byVM[vm]...))
+		parts := byVM[vm]
+		if len(parts) == 1 {
+			// Already merged inside its shard; reuse (immutable).
+			out = append(out, parts[0])
+			continue
+		}
+		out = append(out, core.Aggregate(vm, "*", parts...))
 	}
 	return out
 }
@@ -289,6 +369,16 @@ type AggregatorStats struct {
 	Batches           int64
 	Rejected          int64
 	PullErrors        int64
+	// DeltasApplied counts delta batches folded onto stored state,
+	// Duplicates the redelivered deltas ignored idempotently, and Resyncs
+	// the deltas refused with ErrResyncRequired.
+	DeltasApplied int64
+	Duplicates    int64
+	Resyncs       int64
+	// MergeCacheHits and MergeCacheMisses count shard-level merge
+	// memoization outcomes across all shards.
+	MergeCacheHits   int64
+	MergeCacheMisses int64
 }
 
 // Stats returns the aggregator's counters.
@@ -300,13 +390,68 @@ func (g *Aggregator) Stats() AggregatorStats {
 			stale++
 		}
 	}
-	return AggregatorStats{
+	st := AggregatorStats{
 		Hosts:      len(hosts),
 		StaleHosts: stale,
-		Batches:    g.batches.Load(),
 		Rejected:   g.rejected.Load(),
 		PullErrors: g.pullErrors.Load(),
 	}
+	for _, sh := range g.shards {
+		st.Batches += sh.batches.Load()
+		st.DeltasApplied += sh.deltasApplied.Load()
+		st.Duplicates += sh.duplicates.Load()
+		st.Resyncs += sh.resyncs.Load()
+		st.MergeCacheHits += sh.cacheHits.Load()
+		st.MergeCacheMisses += sh.cacheMisses.Load()
+	}
+	return st
+}
+
+// ShardStatus is one shard's slice of the aggregator, served by
+// GET /fleet/shards.
+type ShardStatus struct {
+	Shard      int `json:"shard"`
+	Hosts      int `json:"hosts"`
+	StaleHosts int `json:"stale_hosts"`
+	// Batches counts everything the shard ingested; DeltasApplied and
+	// Resyncs expose the delta protocol's health per shard.
+	Batches       int64 `json:"batches"`
+	DeltasApplied int64 `json:"deltas_applied"`
+	Duplicates    int64 `json:"duplicates"`
+	Resyncs       int64 `json:"resyncs"`
+	// MergeCacheHits/Misses show how often scrapes reused the shard's
+	// memoized merge.
+	MergeCacheHits   int64 `json:"merge_cache_hits"`
+	MergeCacheMisses int64 `json:"merge_cache_misses"`
+}
+
+// Shards returns per-shard statistics, indexed by shard.
+func (g *Aggregator) Shards() []ShardStatus {
+	now := g.now()
+	out := make([]ShardStatus, len(g.shards))
+	for i, sh := range g.shards {
+		var hosts, stale int
+		sh.mu.RLock()
+		hosts = len(sh.hosts)
+		for _, st := range sh.hosts {
+			if now.Sub(st.lastSeen) > g.cfg.StaleAfter {
+				stale++
+			}
+		}
+		sh.mu.RUnlock()
+		out[i] = ShardStatus{
+			Shard:            i,
+			Hosts:            hosts,
+			StaleHosts:       stale,
+			Batches:          sh.batches.Load(),
+			DeltasApplied:    sh.deltasApplied.Load(),
+			Duplicates:       sh.duplicates.Load(),
+			Resyncs:          sh.resyncs.Load(),
+			MergeCacheHits:   sh.cacheHits.Load(),
+			MergeCacheMisses: sh.cacheMisses.Load(),
+		}
+	}
+	return out
 }
 
 // --- HTTP surface ---
@@ -318,7 +463,12 @@ func (g *Aggregator) Stats() AggregatorStats {
 //	GET  /fleet/snapshot  merged cluster snapshot; ?vm=NAME for one VM,
 //	                      ?view=vms for every per-VM merge,
 //	                      ?include_stale=1 to merge stale hosts too
-//	POST /fleet/push      one wire frame from an agent
+//	GET  /fleet/shards    per-shard host counts, delta/resync counters and
+//	                      merge-cache hit rates; ?host=NAME answers which
+//	                      shard a host routes to
+//	POST /fleet/push      one wire frame from an agent (full or delta;
+//	                      an unappliable delta is a 409 asking the agent
+//	                      to resync with full state)
 func (g *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := strings.Trim(r.URL.Path, "/")
 	path = strings.TrimPrefix(path, "fleet/")
@@ -335,6 +485,18 @@ func (g *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		g.serveSnapshot(w, r)
+	case "shards":
+		if r.Method != http.MethodGet {
+			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
+			return
+		}
+		if host := r.URL.Query().Get("host"); host != "" {
+			writeFleetJSON(w, map[string]any{
+				"host": host, "shard": g.ShardFor(host), "shards": g.NumShards(),
+			})
+			return
+		}
+		writeFleetJSON(w, g.Shards())
 	case "push":
 		if r.Method != http.MethodPost {
 			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodPost)
@@ -381,6 +543,10 @@ func (g *Aggregator) servePush(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := g.Ingest(b, "push"); err != nil {
+		if errors.Is(err, ErrResyncRequired) {
+			fleetError(w, http.StatusConflict, err.Error())
+			return
+		}
 		fleetError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -435,4 +601,24 @@ func (g *Aggregator) FleetCluster() *core.Snapshot {
 // fresh hosts, sorted by VM name.
 func (g *Aggregator) FleetVMs() []*core.Snapshot {
 	return g.VMSnapshots(false)
+}
+
+// FleetShards implements telemetry.FleetShardSource: per-shard gauges and
+// counters for the vscsistats_fleet_shard_* series.
+func (g *Aggregator) FleetShards() []telemetry.FleetShard {
+	shards := g.Shards()
+	out := make([]telemetry.FleetShard, 0, len(shards))
+	for _, s := range shards {
+		out = append(out, telemetry.FleetShard{
+			Index:            s.Shard,
+			Hosts:            s.Hosts,
+			StaleHosts:       s.StaleHosts,
+			Batches:          s.Batches,
+			DeltasApplied:    s.DeltasApplied,
+			Resyncs:          s.Resyncs,
+			MergeCacheHits:   s.MergeCacheHits,
+			MergeCacheMisses: s.MergeCacheMisses,
+		})
+	}
+	return out
 }

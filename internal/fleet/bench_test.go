@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 	"time"
+	"vscsistats/internal/core"
 )
 
 // BenchmarkFleetMerge measures the cluster merge over a populated
@@ -48,3 +49,139 @@ func BenchmarkFleetEncodeDecode(b *testing.B) {
 		}
 	}
 }
+
+// fleetHostNames returns n deterministic host names.
+func fleetHostNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("esx-%04d", i)
+	}
+	return names
+}
+
+// benchPopulate fills agg with one small batch per host (1 VM × 1 disk —
+// a fleet-scale benchmark wants many hosts, not big hosts) and returns a
+// second snapshot set per seed class to rotate through on re-ingest.
+func benchPopulate(b *testing.B, agg *Aggregator, hosts []string) [][]*core.Snapshot {
+	b.Helper()
+	const variants = 8
+	rotations := make([][]*core.Snapshot, variants)
+	for v := 0; v < variants; v++ {
+		rotations[v] = makeRegistry(v, 1, 1, 50).Snapshots()
+	}
+	for i, h := range hosts {
+		if err := agg.Ingest(&Batch{
+			Host: h, Seq: 1, Snapshots: rotations[i%variants],
+		}, "push"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return rotations
+}
+
+// benchIngestScrape is the steady-state op a busy aggregator lives in: one
+// host's batch arrives, then a reader scrapes the cluster merge. On the
+// monolithic configuration every scrape re-folds every host; sharded, a
+// scrape re-folds only the one dirty shard and combines the other shards'
+// memoized merges — the gap this benchmark exists to show.
+func benchIngestScrape(b *testing.B, cfg AggregatorConfig, numHosts int) {
+	agg := NewAggregator(cfg)
+	hosts := fleetHostNames(numHosts)
+	rotations := benchPopulate(b, agg, hosts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := i % numHosts
+		if err := agg.Ingest(&Batch{
+			Host: hosts[h], Seq: uint64(2 + i/numHosts), Snapshots: rotations[(h+i)%len(rotations)],
+		}, "push"); err != nil {
+			b.Fatal(err)
+		}
+		if s := agg.ClusterSnapshot(false); s == nil {
+			b.Fatal("nil cluster snapshot")
+		}
+	}
+}
+
+// Mono reproduces the pre-shard design: one shard, one mutex, no merge
+// cache — the committed "before" numbers for BENCH_fleet.json.
+func BenchmarkFleetIngestScrapeMono256(b *testing.B) {
+	benchIngestScrape(b, AggregatorConfig{StaleAfter: time.Hour, Shards: 1, DisableMergeCache: true}, 256)
+}
+func BenchmarkFleetIngestScrapeMono1024(b *testing.B) {
+	benchIngestScrape(b, AggregatorConfig{StaleAfter: time.Hour, Shards: 1, DisableMergeCache: true}, 1024)
+}
+func BenchmarkFleetIngestScrapeSharded256(b *testing.B) {
+	benchIngestScrape(b, AggregatorConfig{StaleAfter: time.Hour}, 256)
+}
+func BenchmarkFleetIngestScrapeSharded1024(b *testing.B) {
+	benchIngestScrape(b, AggregatorConfig{StaleAfter: time.Hour}, 1024)
+}
+
+// BenchmarkFleetIngest1024 is the pure ingest fence: batch validation plus
+// shard insertion at 1024 hosts, no scraping. CI fails the build if this
+// regresses past the committed baseline.
+func BenchmarkFleetIngest1024(b *testing.B) {
+	agg := NewAggregator(AggregatorConfig{StaleAfter: time.Hour})
+	hosts := fleetHostNames(1024)
+	rotations := benchPopulate(b, agg, hosts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := i % len(hosts)
+		if err := agg.Ingest(&Batch{
+			Host: hosts[h], Seq: uint64(2 + i/len(hosts)), Snapshots: rotations[(h+i)%len(rotations)],
+		}, "push"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchWireBytes measures the steady-state wire cost of one push interval
+// on a slowly-changing host: 8 disks of which one saw traffic. Full sends
+// everything every time; Delta sends one disk's interval delta and omits
+// the seven unchanged ones. The wire_bytes/op metric is what BENCH_fleet
+// records as the ≥3× delta win.
+func benchWireBytes(b *testing.B, delta bool) {
+	reg := makeRegistry(3, 4, 4, 2000) // 16 disks with dense cumulative histograms
+	base := reg.Snapshots()
+	feed(reg.List()[0], 71, 60) // one active disk this interval
+	cur := reg.Snapshots()
+
+	batch := &Batch{Host: "esx-01", Seq: 2, Snapshots: cur}
+	if delta {
+		deltas, ok := subAgainst(cur, base)
+		if !ok {
+			b.Fatal("disk sets diverged")
+		}
+		batch = &Batch{Host: "esx-01", Seq: 2, BaseSeq: 1, Delta: true, Snapshots: deltas}
+	}
+	var wireBytes int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := EncodeBatchBytes(batch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		wireBytes = len(out)
+	}
+	b.ReportMetric(float64(wireBytes), "wire_bytes/op")
+}
+
+func BenchmarkFleetWireBytesFull(b *testing.B)  { benchWireBytes(b, false) }
+func BenchmarkFleetWireBytesDelta(b *testing.B) { benchWireBytes(b, true) }
+
+// benchMergeScrape measures a scrape-only aggregator (no ingest between
+// reads) at 64 hosts: Uncached re-folds all hosts every scrape, Cached
+// serves every shard from its memoized merge.
+func benchMergeScrape(b *testing.B, disableCache bool) {
+	agg := NewAggregator(AggregatorConfig{StaleAfter: time.Hour, DisableMergeCache: disableCache})
+	benchPopulate(b, agg, fleetHostNames(64))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if s := agg.ClusterSnapshot(false); s == nil {
+			b.Fatal("nil cluster snapshot")
+		}
+	}
+}
+
+func BenchmarkFleetMergeUncached(b *testing.B) { benchMergeScrape(b, true) }
+func BenchmarkFleetMergeCached(b *testing.B)   { benchMergeScrape(b, false) }

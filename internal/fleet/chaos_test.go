@@ -2,7 +2,9 @@ package fleet
 
 import (
 	"net/http"
+	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -223,4 +225,137 @@ func TestFleetChaosHTTPReadersSeeConsistentViews(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestFleetChaosRestartResyncsDeltas kills and replaces the aggregator —
+// not an agent — mid-run while every agent is delta-pushing: the restarted
+// aggregator knows nobody, so each agent's next delta draws a 409 and must
+// resync with full state automatically, with no operator involvement and no
+// lost intervals. At the end the new aggregator's merge must be bin-exact
+// against the registries, the delta chain must have re-established
+// (deltas applied on the new aggregator too), and the only non-200s of the
+// whole run are the resync 409s the protocol prescribes. Run under -race in
+// CI alongside the kill-one-agent scenario.
+func TestFleetChaosRestartResyncsDeltas(t *testing.T) {
+	const numAgents = 3
+	var agg atomic.Pointer[Aggregator]
+	newAgg := func() *Aggregator {
+		return NewAggregator(AggregatorConfig{StaleAfter: time.Minute, Shards: 4})
+	}
+	agg.Store(newAgg())
+	var other atomic.Int64 // non-200s that are not resync 409s
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := httptest.NewRecorder()
+		agg.Load().ServeHTTP(rec, r)
+		if rec.Code != http.StatusOK && rec.Code != http.StatusConflict {
+			other.Add(1)
+		}
+		for k, v := range rec.Header() {
+			w.Header()[k] = v
+		}
+		w.WriteHeader(rec.Code)
+		w.Write(rec.Body.Bytes())
+	}))
+	defer srv.Close()
+
+	type host struct {
+		reg   *core.Registry
+		col   *core.Collector
+		agent *Agent
+	}
+	hosts := make([]*host, numAgents)
+	for i := range hosts {
+		reg := core.NewRegistry()
+		col := core.NewCollector(vmName(i, 0), diskName(0))
+		col.Enable()
+		reg.Register(col)
+		hosts[i] = &host{reg: reg, col: col, agent: NewAgent(reg, AgentConfig{
+			Host:     "esx-" + string(rune('a'+i)),
+			Endpoint: srv.URL + "/fleet/push",
+			Interval: 5 * time.Millisecond,
+		})}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i, h := range hosts {
+		wg.Add(1)
+		go func(h *host, seed int) {
+			defer wg.Done()
+			for n := 0; ; n++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				feed(h.col, seed+n, 20)
+				time.Sleep(time.Millisecond)
+			}
+		}(h, i*1000)
+		h.agent.Start()
+	}
+	// Readers keep scraping the merged views across the restart.
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				agg.Load().ClusterSnapshot(false)
+				agg.Load().Shards()
+				time.Sleep(time.Millisecond)
+			}
+		}()
+	}
+
+	// Let the delta chains establish, then pull the rug.
+	waitFor(t, 2*time.Second, func() bool {
+		if len(agg.Load().Hosts()) < numAgents {
+			return false
+		}
+		for _, h := range hosts {
+			if h.agent.Stats().DeltaPushes == 0 {
+				return false
+			}
+		}
+		return true
+	})
+	agg.Store(newAgg())
+
+	// Every agent must reappear on the fresh aggregator and resume deltas.
+	waitFor(t, 2*time.Second, func() bool {
+		g := agg.Load()
+		return len(g.Hosts()) == numAgents && g.Stats().DeltasApplied >= int64(numAgents)
+	})
+
+	close(stop)
+	wg.Wait()
+	for _, h := range hosts {
+		h.agent.Stop()
+		if err := h.agent.PushNow(); err != nil {
+			t.Fatalf("final push from %s: %v", h.agent.Host(), err)
+		}
+	}
+
+	var resyncs int64
+	var all []*core.Snapshot
+	for _, h := range hosts {
+		resyncs += h.agent.Stats().Resyncs
+		all = append(all, h.reg.Snapshots()...)
+	}
+	if resyncs < numAgents {
+		t.Errorf("agents recorded %d resyncs across the restart, want >= %d", resyncs, numAgents)
+	}
+	if n := other.Load(); n != 0 {
+		t.Errorf("%d non-200 responses besides the protocol's resync 409s", n)
+	}
+	want := core.Aggregate("cluster", "*", all...)
+	got := agg.Load().ClusterSnapshot(false)
+	if got == nil || !sameSnapshot(got, want) {
+		t.Error("post-restart cluster merge not bin-exact against the registries")
+	}
 }

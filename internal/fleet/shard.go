@@ -1,0 +1,271 @@
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vscsistats/internal/core"
+)
+
+// shard is one independent slice of the aggregator's host space. Hosts
+// route to shards by a consistent hash of their name, so every batch from
+// one host always lands on the same shard and shards share no state: each
+// has its own lock, its own host map and its own merge cache. Ingest on
+// one shard never contends with ingest or reads on another, and a scrape
+// only re-merges the shards whose hosts actually changed.
+type shard struct {
+	index int
+
+	// mu guards hosts and version. version increments whenever any host's
+	// stored snapshots change (ingest of new state, delta apply, forget) —
+	// the merge cache's invalidation signal. Liveness-only refreshes do
+	// not bump it: the cache also keys on the fresh-host set, which is
+	// recomputed per read.
+	mu      sync.RWMutex
+	hosts   map[string]*hostState
+	version uint64
+
+	batches       atomic.Int64
+	deltasApplied atomic.Int64
+	duplicates    atomic.Int64
+	resyncs       atomic.Int64
+	cacheHits     atomic.Int64
+	cacheMisses   atomic.Int64
+
+	// cacheMu guards cache and single-flights recomputation: concurrent
+	// scrapes of an unchanged shard wait for one merge instead of all
+	// redoing it.
+	cacheMu sync.Mutex
+	cache   shardCache
+}
+
+// shardCache memoizes the shard's merged views. An entry is valid for
+// exactly one (version, fresh-host set) pair: a new ingest bumps version,
+// and a host aging past the staleness horizon (or reviving) changes the
+// host list, so either invalidates without any clock-driven expiry logic.
+type shardCache struct {
+	valid   bool
+	version uint64
+	hosts   []string
+	cluster *core.Snapshot
+	vms     []*core.Snapshot
+}
+
+func newShard(index int) *shard {
+	return &shard{index: index, hosts: make(map[string]*hostState)}
+}
+
+// diskKey identifies one virtual disk within a host's batch.
+type diskKey struct{ vm, disk string }
+
+// ingest records a validated batch. Full batches replace the host's state
+// when their sequence is newest (late retries refresh liveness only);
+// delta batches must build on exactly the sequence the shard holds —
+// anything else returns ErrResyncRequired so the agent falls back to a
+// full push. Duplicate delta deliveries (retries whose ack was lost) are
+// idempotent: liveness refreshes, nothing is applied twice.
+func (s *shard) ingest(b *Batch, source string, now time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.hosts[b.Host]
+	if b.Delta {
+		if st == nil {
+			s.resyncs.Add(1)
+			return fmt.Errorf("%w: no state for host %q (aggregator restarted?)", ErrResyncRequired, b.Host)
+		}
+		st.lastSeen, st.source = now, source
+		if b.Seq <= st.seq {
+			st.batches++
+			s.batches.Add(1)
+			s.duplicates.Add(1)
+			return nil
+		}
+		if b.BaseSeq != st.seq {
+			s.resyncs.Add(1)
+			return fmt.Errorf("%w: delta base seq %d, host %q is at %d", ErrResyncRequired, b.BaseSeq, b.Host, st.seq)
+		}
+		snaps, err := applyDeltaSnaps(st.snaps, b.Snapshots)
+		if err != nil {
+			s.resyncs.Add(1)
+			return fmt.Errorf("%w: %v", ErrResyncRequired, err)
+		}
+		st.snaps = snaps
+		st.seq = b.Seq
+		st.sentUnixNano = b.SentUnixNano
+		st.batches++
+		s.batches.Add(1)
+		s.deltasApplied.Add(1)
+		s.version++
+		return nil
+	}
+	if st == nil {
+		st = &hostState{host: b.Host}
+		s.hosts[b.Host] = st
+	}
+	st.lastSeen = now
+	st.source = source
+	st.batches++
+	if b.Seq >= st.seq {
+		st.seq = b.Seq
+		st.sentUnixNano = b.SentUnixNano
+		st.snaps = b.Snapshots
+		s.version++
+	}
+	s.batches.Add(1)
+	return nil
+}
+
+// applyDeltaSnaps reapplies a delta batch onto a host's stored full state.
+// Deltas pair with base snapshots by (VM, disk); a delta for a disk the
+// base does not hold means the sender built against state we lost — a
+// resync condition, not corruption. Disks omitted from the delta are
+// unchanged and carry over by reference (snapshots are immutable).
+func applyDeltaSnaps(base, deltas []*core.Snapshot) ([]*core.Snapshot, error) {
+	byKey := make(map[diskKey]int, len(base))
+	for i, s := range base {
+		byKey[diskKey{s.VM, s.Disk}] = i
+	}
+	out := append([]*core.Snapshot(nil), base...)
+	for _, d := range deltas {
+		i, ok := byKey[diskKey{d.VM, d.Disk}]
+		if !ok {
+			return nil, fmt.Errorf("delta for disk %s/%s with no base state", d.VM, d.Disk)
+		}
+		out[i] = out[i].ApplyDelta(d)
+	}
+	return out, nil
+}
+
+// forget drops a host; reports whether it existed.
+func (s *shard) forget(host string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.hosts[host]; !ok {
+		return false
+	}
+	delete(s.hosts, host)
+	s.version++
+	return true
+}
+
+// statuses appends every host's liveness record to out.
+func (s *shard) statuses(now time.Time, staleAfter time.Duration, out []HostStatus) []HostStatus {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, st := range s.hosts {
+		age := now.Sub(st.lastSeen)
+		out = append(out, HostStatus{
+			Host:             st.host,
+			Source:           st.source,
+			Seq:              st.seq,
+			Batches:          st.batches,
+			Snapshots:        len(st.snaps),
+			LastSeenUnixNano: st.lastSeen.UnixNano(),
+			AgeSeconds:       age.Seconds(),
+			Stale:            age > staleAfter,
+		})
+	}
+	return out
+}
+
+// merged returns the shard-level cluster merge and per-VM merges of every
+// fresh host (both nil when the shard has none). The includeStale=false
+// path memoizes: as long as the shard's version and fresh-host set are
+// unchanged, repeated scrapes return the cached merge instead of
+// re-folding every host — the property that makes a scrape-heavy
+// aggregator's merge cost proportional to what changed, not to fleet
+// size. Returned snapshots are shared and must be treated as immutable
+// (core.Aggregate clones before merging, so feeding them back in is safe).
+func (s *shard) merged(now time.Time, staleAfter time.Duration, includeStale, useCache bool) (*core.Snapshot, []*core.Snapshot) {
+	s.mu.RLock()
+	version := s.version
+	names := make([]string, 0, len(s.hosts))
+	for h, st := range s.hosts {
+		if !includeStale && now.Sub(st.lastSeen) > staleAfter {
+			continue
+		}
+		names = append(names, h)
+	}
+	sort.Strings(names)
+	snaps := make([]*core.Snapshot, 0, len(names))
+	for _, h := range names {
+		snaps = append(snaps, s.hosts[h].snaps...)
+	}
+	s.mu.RUnlock()
+
+	if includeStale || !useCache {
+		return mergeSnaps(snaps)
+	}
+	s.cacheMu.Lock()
+	defer s.cacheMu.Unlock()
+	if s.cache.valid && s.cache.version == version && equalHostLists(s.cache.hosts, names) {
+		s.cacheHits.Add(1)
+		return s.cache.cluster, s.cache.vms
+	}
+	s.cacheMisses.Add(1)
+	cluster, vms := mergeSnaps(snaps)
+	// A slow reader that observed an older version must not clobber a
+	// fresher entry; version is monotone under mu.
+	if !s.cache.valid || version >= s.cache.version {
+		s.cache = shardCache{valid: true, version: version, hosts: names, cluster: cluster, vms: vms}
+	}
+	return cluster, vms
+}
+
+// mergeSnaps folds host snapshots into one cluster merge plus per-VM
+// merges sorted by VM name.
+func mergeSnaps(snaps []*core.Snapshot) (*core.Snapshot, []*core.Snapshot) {
+	if len(snaps) == 0 {
+		return nil, nil
+	}
+	cluster := core.Aggregate("cluster", "*", snaps...)
+	byVM := make(map[string][]*core.Snapshot)
+	for _, s := range snaps {
+		byVM[s.VM] = append(byVM[s.VM], s)
+	}
+	vms := make([]string, 0, len(byVM))
+	for vm := range byVM {
+		vms = append(vms, vm)
+	}
+	sort.Strings(vms)
+	out := make([]*core.Snapshot, 0, len(vms))
+	for _, vm := range vms {
+		out = append(out, core.Aggregate(vm, "*", byVM[vm]...))
+	}
+	return cluster, out
+}
+
+func equalHostLists(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// shardHash routes a host name to a shard: FNV-1a over the name, reduced
+// modulo the shard count. Deterministic across processes and restarts, so
+// any party that knows the shard count can compute a host's shard.
+func shardHash(host string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	return h.Sum32()
+}
+
+// pullSlot spreads hosts across the pull interval's pullSlots phases. A
+// different salt than shard routing, so the pull schedule and shard
+// assignment are uncorrelated.
+func pullSlot(host string) int {
+	h := fnv.New32a()
+	h.Write([]byte(host))
+	h.Write([]byte("#pull-phase"))
+	return int(h.Sum32() % pullSlots)
+}

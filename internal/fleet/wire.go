@@ -41,9 +41,17 @@ const (
 	// flagGzip marks a gzip-compressed payload.
 	flagGzip = 1 << 0
 
+	// flagDelta marks a delta frame: the payload's snapshots are interval
+	// deltas (Snapshot.Sub) against the sender's state at header BaseSeq,
+	// not cumulative state. A decoder that does not understand this bit
+	// must reject the frame — misreading a delta as full state silently
+	// truncates every histogram — which is exactly what the unknown-flag
+	// check below does for pre-delta readers.
+	flagDelta = 1 << 1
+
 	// knownFlags is the set of flag bits this decoder understands; frames
 	// carrying others are rejected rather than misinterpreted.
-	knownFlags = flagGzip
+	knownFlags = flagGzip | flagDelta
 
 	// maxHeaderLen and maxPayloadLen bound a frame's declared sizes so a
 	// corrupt or hostile length prefix cannot drive a huge allocation.
@@ -70,7 +78,17 @@ type Batch struct {
 	Seq uint64 `json:"seq"`
 	// SentUnixNano is the sender's wall clock when the batch was built.
 	SentUnixNano int64 `json:"sent_unix_nano"`
-	// Snapshots is the registry's state, cumulative since enable/reset.
+	// Delta marks an interval-delta batch: Snapshots are Snapshot.Sub
+	// deltas against the sender's state at BaseSeq, and disks whose state
+	// did not change since BaseSeq may be omitted entirely. The receiver
+	// must hold exactly BaseSeq for the host to apply it; anything else is
+	// a resync condition. On the wire this is the flagDelta frame bit.
+	Delta bool `json:"-"`
+	// BaseSeq is the acknowledged sequence a delta batch builds on.
+	// Meaningless (and zero) on full batches.
+	BaseSeq uint64 `json:"-"`
+	// Snapshots is the registry's state — cumulative since enable/reset on
+	// full batches, interval deltas on delta batches.
 	Snapshots []*core.Snapshot `json:"-"`
 }
 
@@ -81,13 +99,20 @@ type batchHeader struct {
 	Seq          uint64 `json:"seq"`
 	SentUnixNano int64  `json:"sent_unix_nano"`
 	Count        int    `json:"count"`
+	// BaseSeq accompanies the flagDelta frame bit (which alone marks a
+	// frame as a delta); omitted from full-batch headers.
+	BaseSeq uint64 `json:"base_seq,omitempty"`
 }
 
 // EncodeBatch writes b to w as one frame.
 func EncodeBatch(w io.Writer, b *Batch) error {
-	header, err := json.Marshal(batchHeader{
+	hdr := batchHeader{
 		Host: b.Host, Seq: b.Seq, SentUnixNano: b.SentUnixNano, Count: len(b.Snapshots),
-	})
+	}
+	if b.Delta {
+		hdr.BaseSeq = b.BaseSeq
+	}
+	header, err := json.Marshal(hdr)
 	if err != nil {
 		return err
 	}
@@ -106,6 +131,9 @@ func EncodeBatch(w io.Writer, b *Batch) error {
 	copy(head[0:4], wireMagic[:])
 	head[4] = Version
 	head[5] = flagGzip
+	if b.Delta {
+		head[5] |= flagDelta
+	}
 	binary.BigEndian.PutUint32(head[8:12], uint32(len(header)))
 	binary.BigEndian.PutUint32(head[12:16], uint32(payload.Len()))
 	if _, err := w.Write(head[:]); err != nil {
@@ -200,9 +228,16 @@ func DecodeBatch(r io.Reader) (*Batch, error) {
 	if len(snaps) != hdr.Count {
 		return nil, badFrame("header count %d != payload count %d", hdr.Count, len(snaps))
 	}
-	return &Batch{
-		Host: hdr.Host, Seq: hdr.Seq, SentUnixNano: hdr.SentUnixNano, Snapshots: snaps,
-	}, nil
+	out := &Batch{
+		Host: hdr.Host, Seq: hdr.Seq, SentUnixNano: hdr.SentUnixNano,
+		Delta: flags&flagDelta != 0, Snapshots: snaps,
+	}
+	if out.Delta {
+		// base_seq means nothing without the flag; dropping it on full
+		// frames keeps decode(encode(b)) == b in both directions.
+		out.BaseSeq = hdr.BaseSeq
+	}
+	return out, nil
 }
 
 // Validate checks b is safe to merge: a named host and, per snapshot,
@@ -213,6 +248,9 @@ func DecodeBatch(r io.Reader) (*Batch, error) {
 func (b *Batch) Validate() error {
 	if b.Host == "" {
 		return errors.New("fleet: batch without host name")
+	}
+	if b.Delta && b.BaseSeq >= b.Seq {
+		return fmt.Errorf("fleet: delta batch base seq %d not below seq %d", b.BaseSeq, b.Seq)
 	}
 	for i, s := range b.Snapshots {
 		if s == nil {

@@ -27,6 +27,27 @@ func FuzzDecodeBatch(f *testing.F) {
 		flipped[len(flipped)/2] ^= 0x55
 		f.Add(flipped)
 	}
+	// Delta frames: the flagDelta bit plus base_seq header, both well-formed
+	// (an interval delta of a real registry) and corrupted.
+	deltaReg := makeRegistry(2, 1, 2, 100)
+	deltaBase := deltaReg.Snapshots()
+	feed(deltaReg.List()[0], 42, 60)
+	deltaSnaps, ok := subAgainst(deltaReg.Snapshots(), deltaBase)
+	if !ok {
+		f.Fatal("delta seed: disk sets diverged")
+	}
+	deltaData, err := EncodeBatchBytes(&Batch{
+		Host: "seed-delta", Seq: 9, BaseSeq: 8, Delta: true, Snapshots: deltaSnaps,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(deltaData)
+	f.Add(deltaData[:len(deltaData)/3])
+	badFlags := append([]byte(nil), deltaData...)
+	badFlags[5] |= 1 << 7 // an unknown flag bit alongside flagDelta
+	f.Add(badFlags)
+
 	empty, err := EncodeBatchBytes(&Batch{Host: "empty"})
 	if err != nil {
 		f.Fatal(err)
@@ -57,6 +78,12 @@ func FuzzDecodeBatch(f *testing.F) {
 		if b2.Host != b.Host || b2.Seq != b.Seq || len(b2.Snapshots) != len(b.Snapshots) {
 			t.Fatalf("round trip drifted: %q/%d/%d vs %q/%d/%d",
 				b.Host, b.Seq, len(b.Snapshots), b2.Host, b2.Seq, len(b2.Snapshots))
+		}
+		// The delta marker and its base sequence ride the round trip too —
+		// losing flagDelta would turn an interval into cumulative state.
+		if b2.Delta != b.Delta || b2.BaseSeq != b.BaseSeq {
+			t.Fatalf("delta marker drifted: delta %v base %d vs delta %v base %d",
+				b.Delta, b.BaseSeq, b2.Delta, b2.BaseSeq)
 		}
 		// A batch that validated must merge without panicking.
 		if valid && len(b.Snapshots) > 0 {

@@ -334,6 +334,32 @@ func (s *Snapshot) Sub(earlier *Snapshot) *Snapshot {
 	return d
 }
 
+// ApplyDelta returns the snapshot that Sub'ing earlier out of would yield
+// d: counts, total and sum add, while Min/Max come from the delta (Sub
+// carries the later snapshot's extrema, so reapplying them reconstructs
+// the later snapshot exactly). For any two snapshots of one histogram,
+//
+//	later == earlier.ApplyDelta(later.Sub(earlier))
+//
+// bin for bin — the identity the fleet delta-push protocol rides on.
+func (s *Snapshot) ApplyDelta(d *Snapshot) *Snapshot {
+	s.mustMatch(d)
+	out := &Snapshot{
+		Name:   s.Name,
+		Unit:   s.Unit,
+		Edges:  s.Edges,
+		Counts: make([]int64, len(s.Counts)),
+		Total:  s.Total + d.Total,
+		Sum:    s.Sum + d.Sum,
+		Min:    d.Min,
+		Max:    d.Max,
+	}
+	for i := range s.Counts {
+		out.Counts[i] = s.Counts[i] + d.Counts[i]
+	}
+	return out
+}
+
 // Clone returns a deep copy.
 func (s *Snapshot) Clone() *Snapshot {
 	c := *s

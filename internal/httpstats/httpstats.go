@@ -56,7 +56,9 @@ type Options struct {
 	// Series serves GET /disks/{vm}/{disk}/series and GET /watch.
 	Series SeriesSource
 	// Fleet serves every /fleet/... route (e.g. a fleet.Aggregator):
-	// /fleet/hosts, /fleet/snapshot, /fleet/push.
+	// /fleet/hosts, /fleet/snapshot, /fleet/shards (per-shard routing,
+	// delta-protocol and merge-cache counters), /fleet/push (full or delta
+	// frames; 409 asks the agent to resync with full state).
 	Fleet http.Handler
 	// Pprof mounts net/http/pprof under /debug/pprof/... for profiling the
 	// observation fast path in situ (CPU, heap, mutex, block). Off by

@@ -27,6 +27,26 @@ type FleetSource interface {
 	FleetVMs() []*core.Snapshot
 }
 
+// FleetShard is one shard's slice of a sharded fleet aggregator.
+type FleetShard struct {
+	Index            int
+	Hosts            int
+	StaleHosts       int
+	Batches          int64
+	DeltasApplied    int64
+	Resyncs          int64
+	MergeCacheHits   int64
+	MergeCacheMisses int64
+}
+
+// FleetShardSource is the optional sharding extension of FleetSource: a
+// source that also reports per-shard ingest and merge-cache counters.
+// Implemented by the sharded fleet.Aggregator; the exporter type-asserts,
+// so non-sharded sources keep working unchanged.
+type FleetShardSource interface {
+	FleetShards() []FleetShard
+}
+
 // WithFleet attaches a fleet aggregator and returns the exporter. Scrapes
 // then include the vscsistats_fleet_* series: host liveness gauges, merged
 // cluster counters, per-VM command counters, and the six paper histograms
@@ -74,6 +94,10 @@ func (e *Exporter) writeFleet(p *promWriter) {
 		p.sample("vscsistats_fleet_host_batches_total", hostLabels(h.Host), strconv.FormatInt(h.Batches, 10))
 	}
 
+	if src, ok := e.fleet.(FleetShardSource); ok {
+		writeFleetShards(p, src.FleetShards())
+	}
+
 	cluster := e.fleet.FleetCluster()
 	vms := e.fleet.FleetVMs()
 
@@ -117,6 +141,38 @@ func (e *Exporter) writeFleet(p *promWriter) {
 				continue
 			}
 			p.histogram(name, `class="`+cl.String()+`"`, h)
+		}
+	}
+}
+
+// writeFleetShards emits the vscsistats_fleet_shard_* series: the sharded
+// aggregator's per-shard host counts, delta-protocol counters and merge
+// cache hit rates, labelled shard="N".
+func writeFleetShards(p *promWriter, shards []FleetShard) {
+	type series struct {
+		name, typ, help string
+		get             func(FleetShard) int64
+	}
+	families := []series{
+		{"vscsistats_fleet_shard_hosts", "gauge", "Hosts routed to the shard.",
+			func(s FleetShard) int64 { return int64(s.Hosts) }},
+		{"vscsistats_fleet_shard_hosts_stale", "gauge", "Shard hosts past the liveness horizon.",
+			func(s FleetShard) int64 { return int64(s.StaleHosts) }},
+		{"vscsistats_fleet_shard_batches_total", "counter", "Batches ingested by the shard.",
+			func(s FleetShard) int64 { return s.Batches }},
+		{"vscsistats_fleet_shard_deltas_applied_total", "counter", "Delta batches applied onto stored state.",
+			func(s FleetShard) int64 { return s.DeltasApplied }},
+		{"vscsistats_fleet_shard_resyncs_total", "counter", "Delta batches refused pending a full-state resync.",
+			func(s FleetShard) int64 { return s.Resyncs }},
+		{"vscsistats_fleet_shard_merge_cache_hits_total", "counter", "Scrapes served from the shard's memoized merge.",
+			func(s FleetShard) int64 { return s.MergeCacheHits }},
+		{"vscsistats_fleet_shard_merge_cache_misses_total", "counter", "Scrapes that re-merged the shard's hosts.",
+			func(s FleetShard) int64 { return s.MergeCacheMisses }},
+	}
+	for _, f := range families {
+		p.family(f.name, f.typ, f.help)
+		for _, s := range shards {
+			p.sample(f.name, `shard="`+strconv.Itoa(s.Index)+`"`, strconv.FormatInt(f.get(s), 10))
 		}
 	}
 }

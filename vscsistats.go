@@ -420,20 +420,29 @@ func NewStatsHandlerWith(reg *Registry, opts StatsOptions) http.Handler {
 // --- Fleet federation (internal/fleet) ---
 
 // FleetAgent pushes a registry's snapshots to an aggregator on an
-// interval (with timeout, backoff + jitter and a bounded retry queue);
+// interval (with timeout, backoff + jitter and a bounded retry queue) —
+// full state first, then interval deltas against the last acknowledged
+// push, resyncing automatically when the aggregator loses the chain;
 // FleetAggregator ingests pushes, scatter-gathers pulls, tracks per-host
 // liveness and merges per-host snapshots into per-VM and cluster-wide
-// histograms, bin-exact. SnapshotBatch is the unit both speak on the
-// wire.
+// histograms, bin-exact, sharded by consistent host hash with per-shard
+// merge memoization. SnapshotBatch is the unit both speak on the wire.
 type (
 	FleetAgent            = fleet.Agent
 	FleetAgentConfig      = fleet.AgentConfig
 	FleetAgentStats       = fleet.AgentStats
 	FleetAggregator       = fleet.Aggregator
 	FleetAggregatorConfig = fleet.AggregatorConfig
+	FleetAggregatorStats  = fleet.AggregatorStats
 	FleetHostStatus       = fleet.HostStatus
+	FleetShardStatus      = fleet.ShardStatus
 	SnapshotBatch         = fleet.Batch
 )
+
+// ErrFleetResyncRequired is returned by FleetAggregator.Ingest for a delta
+// batch it cannot apply (unknown host, base-sequence gap); the HTTP push
+// surface maps it to 409 and agents answer it with a full-state push.
+var ErrFleetResyncRequired = fleet.ErrResyncRequired
 
 // NewFleetAgent builds a fleet agent over the registry; Start launches the
 // push loop, PushNow pushes synchronously.
