@@ -7,8 +7,9 @@
 //     internal/histogram (at -cpu 1,4), FleetMerge in internal/fleet.
 //   - -fleet: the fleet tier (BENCH_fleet.json) — sharded ingest+scrape at
 //     256/1024 simulated hosts against the monolithic single-mutex
-//     configuration, full vs delta wire bytes per push interval, and cached
-//     vs uncached cluster merges.
+//     configuration, full vs delta wire bytes per push interval, cached
+//     vs uncached cluster merges, segment-log boot replay at 1024 hosts,
+//     and whole-fleet history window queries.
 //
 // It shells out to `go test -bench`, takes the minimum over -count runs
 // (min-of-N discards scheduler noise; the floor is the honest cost), and
@@ -20,10 +21,11 @@
 //	go run ./cmd/benchfastpath -check                  # CI regression fence
 //	go run ./cmd/benchfastpath -check -fleet           # CI fence, fleet ingest
 //
-// -check re-measures one fence benchmark only (BenchmarkTable2StatsOn, or
-// BenchmarkFleetIngest1024 with -fleet) and fails (exit 1) if it regressed
-// more than -tolerance percent over the entry named by -against, so CI
-// catches regressions without re-running the full suite.
+// -check re-measures the fence benchmarks only (BenchmarkTable2StatsOn, or
+// BenchmarkFleetIngest1024 plus BenchmarkFleetReplay1024 with -fleet) and
+// fails (exit 1) if any regressed more than -tolerance percent over the
+// entry named by -against, so CI catches regressions without re-running
+// the full suite.
 package main
 
 import (
@@ -82,6 +84,7 @@ var fleetSuite = []benchSpec{
 	{"./internal/fleet", "^BenchmarkFleetIngestScrape(Mono|Sharded)(256|1024)$|^BenchmarkFleetIngest1024$", nil},
 	{"./internal/fleet", "^BenchmarkFleetWireBytes(Full|Delta)$", nil},
 	{"./internal/fleet", "^BenchmarkFleetMerge(Cached|Uncached)$", nil},
+	{"./internal/fleet", "^BenchmarkFleetReplay1024$|^BenchmarkFleetHistoryQuery$", nil},
 }
 
 func main() {
@@ -98,9 +101,12 @@ func main() {
 	)
 	flag.Parse()
 
-	benches, fence, fencePkg := suite, "BenchmarkTable2StatsOn", "."
+	benches, fences, fencePkg := suite, []string{"BenchmarkTable2StatsOn"}, "."
 	if *fleet {
-		benches, fence, fencePkg = fleetSuite, "BenchmarkFleetIngest1024", "./internal/fleet"
+		// Two fleet fences: the ingest fast path and the boot replay the
+		// segment log added — a slow restart is a regression too.
+		benches, fencePkg = fleetSuite, "./internal/fleet"
+		fences = []string{"BenchmarkFleetIngest1024", "BenchmarkFleetReplay1024"}
 	}
 	if *file == "" {
 		*file = "BENCH_fastpath.json"
@@ -110,7 +116,7 @@ func main() {
 	}
 
 	if *check {
-		os.Exit(runCheck(*file, *against, fence, fencePkg, *count, *benchtime, *tolerance))
+		os.Exit(runCheck(*file, *against, fences, fencePkg, *count, *benchtime, *tolerance))
 	}
 
 	results := make(map[string]float64)
@@ -281,9 +287,10 @@ func record(path, note string, entry benchEntry) error {
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
-// runCheck is the CI fence: measure the fence benchmark fresh, compare
-// against the recorded entry, and report pass/fail.
-func runCheck(path, against, fence, fencePkg string, count int, benchtime string, tolerance float64) int {
+// runCheck is the CI fence: measure the fence benchmarks fresh in one
+// `go test -bench` run, compare each against the recorded entry, and
+// report pass/fail for the set.
+func runCheck(path, against string, fences []string, fencePkg string, count int, benchtime string, tolerance float64) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchfastpath: %v\n", err)
@@ -294,31 +301,42 @@ func runCheck(path, against, fence, fencePkg string, count int, benchtime string
 		fmt.Fprintf(os.Stderr, "benchfastpath: %s: %v\n", path, err)
 		return 1
 	}
-	var ref float64
+	refs := make(map[string]float64, len(fences))
 	for _, e := range f.Entries {
 		if e.Label == against {
-			ref = e.NsPerOp[fence]
+			for _, fence := range fences {
+				refs[fence] = e.NsPerOp[fence]
+			}
 		}
 	}
-	if ref == 0 {
-		fmt.Fprintf(os.Stderr, "benchfastpath: no %s under entry %q in %s\n", fence, against, path)
-		return 1
+	for _, fence := range fences {
+		if refs[fence] == 0 {
+			fmt.Fprintf(os.Stderr, "benchfastpath: no %s under entry %q in %s\n", fence, against, path)
+			return 1
+		}
 	}
 	results := make(map[string]float64)
-	if err := runBench(fencePkg, "^"+fence+"$", count, benchtime, nil, results); err != nil {
+	if err := runBench(fencePkg, "^("+strings.Join(fences, "|")+")$", count, benchtime, nil, results); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
-	got, ok := results[fence]
-	if !ok {
-		fmt.Fprintln(os.Stderr, "benchfastpath: benchmark produced no result")
-		return 1
+	failed := 0
+	for _, fence := range fences {
+		got, ok := results[fence]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfastpath: %s produced no result\n", fence)
+			return 1
+		}
+		ref := refs[fence]
+		limit := ref * (1 + tolerance/100)
+		fmt.Printf("%s: %.2f ns/op, %s %q: %.2f ns/op, limit +%.0f%%: %.2f ns/op\n",
+			strings.TrimPrefix(fence, "Benchmark"), got, path, against, ref, tolerance, limit)
+		if got > limit {
+			fmt.Printf("FAIL: %s regressed %.1f%% over %q\n", strings.TrimPrefix(fence, "Benchmark"), (got/ref-1)*100, against)
+			failed++
+		}
 	}
-	limit := ref * (1 + tolerance/100)
-	fmt.Printf("%s: %.2f ns/op, %s %q: %.2f ns/op, limit +%.0f%%: %.2f ns/op\n",
-		strings.TrimPrefix(fence, "Benchmark"), got, path, against, ref, tolerance, limit)
-	if got > limit {
-		fmt.Printf("FAIL: %s regressed %.1f%% over %q\n", strings.TrimPrefix(fence, "Benchmark"), (got/ref-1)*100, against)
+	if failed > 0 {
 		return 1
 	}
 	fmt.Println("OK")

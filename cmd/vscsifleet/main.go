@@ -2,19 +2,24 @@
 // constant-space histograms the paper keeps per virtual disk, merged
 // bin-exactly into per-VM and cluster-wide views.
 //
-// Aggregator mode — accept pushes, serve the merged views:
+// Aggregator mode — accept pushes, serve the merged views; with -data-dir
+// every accepted batch also lands in a crash-safe segment log that is
+// replayed on the next boot (no agent resyncs needed) and answers
+// /fleet/history range queries:
 //
-//	vscsifleet -mode aggregator -listen :9108 -stale 6s
+//	vscsifleet -mode aggregator -listen :9108 -stale 6s \
+//	    -data-dir /var/lib/vscsifleet -retention 24h
 //
 // Agent mode — simulate one host's workload and push its registry:
 //
 //	vscsifleet -mode agent -host esx-01 -workload iometer-8k-rand \
 //	    -push http://127.0.0.1:9108/fleet/push -interval 2s
 //
-// The aggregator serves /fleet/hosts, /fleet/snapshot, /fleet/shards and
-// /fleet/push, plus /metrics (with the merged fleet_* series) and /healthz;
-// agents additionally expose their own full stats surface (-listen) so an
-// aggregator can scatter-gather pull them instead of waiting for pushes.
+// The aggregator serves /fleet/hosts, /fleet/snapshot, /fleet/shards,
+// /fleet/history, /fleet/log and /fleet/push, plus /metrics (with the
+// merged fleet_* series) and /healthz; agents additionally expose their
+// own full stats surface (-listen) so an aggregator can scatter-gather
+// pull them instead of waiting for pushes.
 //
 // The aggregator shards its host space by consistent name hash (-shards)
 // and memoizes per-shard merges; agents push interval deltas once a full
@@ -44,6 +49,8 @@ func main() {
 		shards       = flag.Int("shards", 0, "aggregator: shard count for the host space (0 = default 16)")
 		pull         = flag.String("pull", "", "aggregator: comma-separated host=url pull endpoints to scrape")
 		pullInterval = flag.Duration("pull-interval", 0, "aggregator: scrape the -pull endpoints once per interval, phase-spread (0 = pushes only)")
+		dataDir      = flag.String("data-dir", "", "aggregator: persist ingested state to a segment log here and replay it on boot (empty = memory-only)")
+		retention    = flag.Duration("retention", 0, "aggregator: drop log segments older than this (0 = keep everything; requires -data-dir)")
 
 		// Agent flags.
 		host     = flag.String("host", "", "agent: host name reported to the aggregator (default: hostname)")
@@ -60,7 +67,7 @@ func main() {
 	var err error
 	switch *mode {
 	case "aggregator":
-		err = runAggregator(*listen, *stale, *shards, *pull, *pullInterval)
+		err = runAggregator(*listen, *stale, *shards, *pull, *pullInterval, *dataDir, *retention)
 	case "agent":
 		err = runAgent(*listen, *host, *push, *interval, *workload, *fullPush, *seed, *speed, *duration)
 	default:
@@ -72,13 +79,21 @@ func main() {
 	}
 }
 
-func runAggregator(listen string, stale time.Duration, shards int, pull string, pullInterval time.Duration) error {
+func runAggregator(listen string, stale time.Duration, shards int, pull string, pullInterval time.Duration, dataDir string, retention time.Duration) error {
 	if listen == "" {
 		listen = ":9108"
 	}
-	agg := vscsistats.NewFleetAggregator(vscsistats.FleetAggregatorConfig{
-		StaleAfter: stale, Shards: shards,
+	agg, replay, err := vscsistats.OpenFleetAggregator(vscsistats.FleetAggregatorConfig{
+		StaleAfter: stale, Shards: shards, DataDir: dataDir, Retention: retention,
 	})
+	if err != nil {
+		return err
+	}
+	defer agg.Close()
+	if dataDir != "" {
+		fmt.Fprintf(os.Stderr, "segment log %s: replayed %d frames (%d hosts, %d skipped, %d torn tails) in %s\n",
+			dataDir, replay.Frames, replay.Hosts, replay.Skipped, replay.TornTails, replay.Duration.Round(time.Millisecond))
+	}
 	if pull != "" {
 		for _, spec := range strings.Split(pull, ",") {
 			host, url, ok := strings.Cut(strings.TrimSpace(spec), "=")
@@ -102,7 +117,7 @@ func runAggregator(listen string, stale time.Duration, shards int, pull string, 
 		Metrics: vscsistats.NewMetricsExporter(reg).WithFleet(agg),
 		Fleet:   agg,
 	})
-	fmt.Fprintf(os.Stderr, "aggregator on %s (%d shards; /fleet/hosts, /fleet/snapshot, /fleet/shards, /fleet/push, /metrics, /healthz; stale after %s)\n",
+	fmt.Fprintf(os.Stderr, "aggregator on %s (%d shards; /fleet/hosts, /fleet/snapshot, /fleet/shards, /fleet/history, /fleet/log, /fleet/push, /metrics, /healthz; stale after %s)\n",
 		listen, agg.NumShards(), stale)
 	return http.ListenAndServe(listen, handler)
 }

@@ -135,8 +135,15 @@ func (s *Snapshot) ReadFraction() float64 {
 
 // Sub returns the interval snapshot s minus earlier: every histogram and
 // counter becomes the delta accumulated between the two snapshots. Used by
-// the interval recorder for the paper's "histogram over time" figures.
+// the interval recorder for the paper's "histogram over time" figures and
+// by fleet history queries for windowed views of the segment log. A nil
+// earlier means "since the beginning": the interval is everything s ever
+// accumulated, so s itself is returned (snapshots are immutable, sharing
+// is safe).
 func (s *Snapshot) Sub(earlier *Snapshot) *Snapshot {
+	if earlier == nil {
+		return s
+	}
 	d := &Snapshot{
 		VM:           s.VM,
 		Disk:         s.Disk,

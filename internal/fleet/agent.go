@@ -169,13 +169,20 @@ func (a *Agent) Start() {
 	})
 }
 
-// Stop ends the push loop and waits for it to exit. Safe to call without
-// Start (the loop goroutine is then never created and Stop returns at
-// once) and safe to call twice.
+// Stop ends the push loop, waits for it to exit, then drains the capture
+// queue with one bounded best-effort flush. The flusher goroutine exits on
+// stop even when a kick is pending, so without the drain a capture built on
+// the final tick — the last interval of data — would sit in the queue and
+// vanish with the process. The drain honors the backoff gate (an aggregator
+// already failing is not hammered on the way out) and each push is bounded
+// by the configured timeout; a failure is recorded in Stats and dropped,
+// never retried — Stop must terminate. Safe to call without Start (the
+// loop goroutine is then never created) and safe to call twice.
 func (a *Agent) Stop() {
 	a.stopOnce.Do(func() { close(a.stop) })
 	a.startOnce.Do(func() { close(a.done) })
 	<-a.done
+	a.flush(time.Now())
 }
 
 func (a *Agent) run() {

@@ -175,6 +175,80 @@ func TestAgentStartStopLifecycle(t *testing.T) {
 	}
 }
 
+// TestAgentStopDrainsFinalCapture pins the Stop-time drain: a capture
+// sitting in the queue when Stop is called — the final interval of data,
+// previously lost with the process — is delivered by Stop's bounded flush
+// before it returns.
+func TestAgentStopDrainsFinalCapture(t *testing.T) {
+	as := newAggServer(t, AggregatorConfig{})
+	reg := makeRegistry(8, 1, 2, 250)
+	a := NewAgent(reg, AgentConfig{Host: "esx-h", Endpoint: as.pushURL()})
+
+	// The enqueue without a flush models the run loop's final tick: the
+	// builder captured, the flusher exited before its kick was served.
+	a.enqueue(a.buildBatch())
+	if got := a.Stats().QueueLen; got != 1 {
+		t.Fatalf("queue length before Stop = %d, want 1", got)
+	}
+	a.Stop()
+	if got := a.Stats().QueueLen; got != 0 {
+		t.Errorf("queue length after Stop = %d, want drained", got)
+	}
+	hosts := as.agg.Hosts()
+	if len(hosts) != 1 || hosts[0].Host != "esx-h" {
+		t.Fatalf("aggregator hosts after Stop drain: %+v", hosts)
+	}
+	if got := as.agg.ClusterSnapshot(false); !sameSnapshot(got, reg.HostSnapshot()) {
+		t.Error("drained capture diverged from the registry")
+	}
+
+	// And with the loop running: a capture enqueued while the flusher is
+	// live (the final tick's, in the race Stop exists to close) is on the
+	// aggregator by the time Stop returns, whichever side delivered it.
+	las := newAggServer(t, AggregatorConfig{})
+	lreg := makeRegistry(10, 1, 2, 250)
+	live := NewAgent(lreg, AgentConfig{Host: "esx-live", Endpoint: las.pushURL(), Interval: 5 * time.Millisecond})
+	live.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for live.Stats().Pushes < 1 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	feed(lreg.List()[0], 4242, 60)
+	live.enqueue(live.buildBatch())
+	live.Stop()
+	if got := las.agg.ClusterSnapshot(false); !sameSnapshot(got, lreg.HostSnapshot()) {
+		t.Error("capture enqueued before Stop did not reach the aggregator")
+	}
+}
+
+// TestAgentStopDrainHonorsBackoffGate: an aggregator that was already
+// failing is not hammered on the way out — Stop's drain respects the
+// backoff gate, returns promptly, and leaves the undeliverable capture
+// counted rather than retried forever.
+func TestAgentStopDrainHonorsBackoffGate(t *testing.T) {
+	as := newAggServer(t, AggregatorConfig{})
+	as.refuse.Store(true)
+	reg := makeRegistry(9, 1, 1, 100)
+	a := NewAgent(reg, AgentConfig{Host: "esx-i", Endpoint: as.pushURL()})
+
+	// One failed push arms the backoff gate.
+	if err := a.PushNow(); err == nil {
+		t.Fatal("push succeeded against a refusing aggregator")
+	}
+	before := as.requests.Load()
+	a.enqueue(a.buildBatch())
+	done := make(chan struct{})
+	go func() { a.Stop(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Stop hung draining against a gated endpoint")
+	}
+	if got := as.requests.Load(); got != before {
+		t.Errorf("gated drain still hit the server: %d -> %d requests", before, got)
+	}
+}
+
 func TestAgentPullHandler(t *testing.T) {
 	reg := makeRegistry(5, 1, 2, 150)
 	a := NewAgent(reg, AgentConfig{Host: "esx-e"})

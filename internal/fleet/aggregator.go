@@ -54,6 +54,32 @@ type AggregatorConfig struct {
 	PullConcurrency int
 	// Client overrides the HTTP client used for pulls.
 	Client *http.Client
+
+	// DataDir, when set, enables the segment log: every state-changing
+	// batch is appended to per-shard segment files under this directory,
+	// and OpenAggregator replays them on boot so a restart recovers the
+	// fleet without waiting for agents to resync. Empty (the default)
+	// keeps the aggregator memory-only.
+	DataDir string
+	// Retention drops sealed log segments whose newest frame is older
+	// than this, swept at each segment rotation (default 0: keep
+	// everything). The unit of forgetting is a whole segment, so history
+	// reaches back at least Retention and at most Retention plus one
+	// segment's span.
+	Retention time.Duration
+	// SyncInterval batches log fsyncs: an append syncs only when this
+	// much time passed since the last sync (default 100ms; negative
+	// syncs every append). Process death loses nothing either way —
+	// written bytes survive in the page cache — the interval only bounds
+	// the window a power failure can take.
+	SyncInterval time.Duration
+	// SegmentBytes rotates the active log segment once it reaches this
+	// size (default 4 MiB).
+	SegmentBytes int64
+	// CompactSegments rewrites a shard's log chain as one segment of
+	// full frames once its sealed-segment count reaches this (default 8;
+	// negative disables compaction).
+	CompactSegments int
 }
 
 func (c *AggregatorConfig) withDefaults() AggregatorConfig {
@@ -105,6 +131,14 @@ type Aggregator struct {
 
 	shards []*shard
 
+	// log is the crash-safe segment log, nil when DataDir is unset. iomu
+	// serializes {shard ingest, log append} per shard so the log's frame
+	// order matches the order states were applied — without it two
+	// concurrent batches for one host could apply in one order and land
+	// on disk in the other, and a replay of that log would diverge.
+	log  *segmentLog
+	iomu []sync.Mutex
+
 	pmu   sync.RWMutex
 	pulls map[string]string // host -> pull URL
 
@@ -124,7 +158,90 @@ func NewAggregator(cfg AggregatorConfig) *Aggregator {
 	for i := range g.shards {
 		g.shards[i] = newShard(i)
 	}
+	g.iomu = make([]sync.Mutex, g.cfg.Shards)
 	return g
+}
+
+// ReplayStats summarizes one boot replay of the segment log.
+type ReplayStats struct {
+	// Frames is how many whole frames the log held; Skipped counts the
+	// ones that decoded but could not apply (deltas whose base fell to
+	// retention or compaction, or frames from an incompatible histogram
+	// layout) — lost information, never wrong information.
+	Frames  int64 `json:"frames"`
+	Skipped int64 `json:"skipped"`
+	// TornTails counts segment chains whose last frame was cut short by a
+	// crash mid-write and truncated back to the last whole frame.
+	TornTails int `json:"torn_tails"`
+	// Hosts is how many hosts the replay recovered.
+	Hosts int `json:"hosts"`
+	// Duration is the wall time the replay took.
+	Duration time.Duration `json:"duration_ns"`
+}
+
+// OpenAggregator builds an aggregator backed by the segment log under
+// cfg.DataDir: existing segments are replayed through the same strict
+// apply rules live ingest uses (fulls never roll back, deltas apply only
+// on their exact base), a torn tail frame on any chain's newest segment is
+// truncated away, and every subsequent state-changing batch is appended.
+// Replayed hosts keep their recorded send time as their liveness time, so
+// staleness after a restart means what it always means. With an empty
+// DataDir this is exactly NewAggregator. Any other decode failure in the
+// log — wrong magic, bad compression, mangled JSON — refuses to open
+// rather than serve numbers the log contradicts.
+func OpenAggregator(cfg AggregatorConfig) (*Aggregator, ReplayStats, error) {
+	g := NewAggregator(cfg)
+	if g.cfg.DataDir == "" {
+		return g, ReplayStats{}, nil
+	}
+	l, err := openSegmentLog(logConfig{
+		dir:             g.cfg.DataDir,
+		segmentBytes:    g.cfg.SegmentBytes,
+		syncInterval:    g.cfg.SyncInterval,
+		retention:       g.cfg.Retention,
+		compactSegments: g.cfg.CompactSegments,
+	}, g.cfg.Shards)
+	if err != nil {
+		return nil, ReplayStats{}, err
+	}
+	start := time.Now()
+	var st ReplayStats
+	lst, err := l.replay(func(dirIdx int, b *Batch) error {
+		st.Frames++
+		if verr := b.Validate(); verr != nil {
+			// The frame decoded but its histogram layout is not ours —
+			// a log written by a different binary generation. Skip it:
+			// the data is unusable here, not evidence of corruption.
+			st.Skipped++
+			return nil
+		}
+		if _, ierr := g.shardOf(b.Host).ingest(b, "log", time.Unix(0, b.SentUnixNano)); ierr != nil {
+			if errors.Is(ierr, ErrResyncRequired) {
+				st.Skipped++
+				return nil
+			}
+			return ierr
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, ReplayStats{}, err
+	}
+	st.TornTails = lst.tornTails
+	g.log = l
+	if len(l.orphans) > 0 {
+		// The shard count shrank since the log was written: the orphan
+		// dirs' hosts replayed fine (routing is by host hash, never by
+		// dir), but their frames must move home. Rewrite every current
+		// shard's chain from live state, then drop the orphan dirs.
+		if err := g.CompactLog(); err != nil {
+			return nil, ReplayStats{}, err
+		}
+		l.removeOrphans()
+	}
+	st.Hosts = len(g.Hosts())
+	st.Duration = time.Since(start)
+	return g, st, nil
 }
 
 // NumShards returns the aggregator's shard count.
@@ -146,12 +263,68 @@ func (g *Aggregator) shardOf(host string) *shard {
 // leave the stored snapshots alone, so a late-arriving retry never rolls a
 // host backwards. Delta batches apply onto the stored state when their
 // base sequence matches exactly and return ErrResyncRequired otherwise.
+//
+// With a segment log open, every state-changing batch is also appended to
+// the host's shard chain, serialized with the apply so disk order matches
+// apply order. A log write failure (disk full, I/O error) is counted and
+// absorbed rather than failing the ingest: the batch is already applied in
+// memory, and an aggregator that keeps serving beats one that refuses the
+// fleet because its disk filled.
 func (g *Aggregator) Ingest(b *Batch, source string) error {
 	if err := b.Validate(); err != nil {
 		g.rejected.Add(1)
 		return err
 	}
-	return g.shardOf(b.Host).ingest(b, source, g.now())
+	idx := g.ShardFor(b.Host)
+	if g.log == nil {
+		_, err := g.shards[idx].ingest(b, source, g.now())
+		return err
+	}
+	g.iomu[idx].Lock()
+	applied, err := g.shards[idx].ingest(b, source, g.now())
+	var rotated bool
+	if err == nil && applied {
+		if data, eerr := EncodeBatchBytes(b); eerr != nil {
+			g.log.appendErrs.Add(1)
+		} else if rotated, eerr = g.log.append(idx, data, b.SentUnixNano, g.now()); eerr != nil {
+			rotated = false
+		}
+	}
+	g.iomu[idx].Unlock()
+	if rotated && g.log.needsCompaction(idx) {
+		// Best-effort: a failed compaction leaves the chain long but
+		// whole; the next rotation retries.
+		g.log.compact(idx, g.shards[idx].fullBatches, g.now())
+	}
+	return err
+}
+
+// Close syncs and closes the segment log's open files; a no-op for a
+// memory-only aggregator. The aggregator itself stays usable — only
+// further appends would reopen files — but callers should treat Close as
+// the end of the aggregator's life.
+func (g *Aggregator) Close() error {
+	if g.log == nil {
+		return nil
+	}
+	return g.log.close()
+}
+
+// CompactLog rewrites every shard's log chain as one segment of full
+// frames, one per host — the operation rotation triggers automatically
+// once a chain exceeds CompactSegments, exposed for tests and operational
+// forcing. No-op without a log.
+func (g *Aggregator) CompactLog() error {
+	if g.log == nil {
+		return nil
+	}
+	var first error
+	for i := range g.shards {
+		if err := g.log.compact(i, g.shards[i].fullBatches, g.now()); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Forget removes a host from the aggregator (and its pull registration).
@@ -274,7 +447,10 @@ func (g *Aggregator) pullOne(host, url string) error {
 		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		return fmt.Errorf("fleet: pull %s returned %s", host, resp.Status)
 	}
-	b, err := DecodeBatch(resp.Body)
+	// Bound the pull body exactly like push's MaxBytesReader: one frame
+	// cannot legitimately exceed its declared limits, and a hostile or
+	// broken agent must not be able to stream forever into the decoder.
+	b, err := DecodeBatch(io.LimitReader(resp.Body, 16+maxHeaderLen+maxPayloadLen))
 	if err != nil {
 		return err
 	}
@@ -288,7 +464,8 @@ func (g *Aggregator) pullOne(host, url string) error {
 // HostStatus is one host's liveness record.
 type HostStatus struct {
 	Host string `json:"host"`
-	// Source is "push" or "pull" — how the newest batch arrived.
+	// Source is how the newest batch arrived: "push", "pull", or "log"
+	// for state recovered by boot replay that no agent has refreshed yet.
 	Source string `json:"source"`
 	// Seq is the newest batch sequence; Batches counts everything
 	// ingested, retries included.
@@ -454,6 +631,57 @@ func (g *Aggregator) Shards() []ShardStatus {
 	return out
 }
 
+// LogStats is a point-in-time view of the segment log, served by
+// GET /fleet/log and exported as the vscsistats_fleet_log_* series.
+type LogStats struct {
+	// Enabled is false for a memory-only aggregator (every other field
+	// is then zero).
+	Enabled bool `json:"enabled"`
+	// Segments and Bytes size the live log: every sealed segment plus
+	// each shard's non-empty active one.
+	Segments int   `json:"segments"`
+	Bytes    int64 `json:"bytes"`
+	// Appends counts frames written since open, AppendBytes their size,
+	// and AppendErrors the writes absorbed after an encode or I/O
+	// failure (those frames exist in memory only).
+	Appends      int64 `json:"appends"`
+	AppendBytes  int64 `json:"append_bytes"`
+	AppendErrors int64 `json:"append_errors"`
+	// Fsyncs, Rotations and Compactions count the log's maintenance
+	// work; SegmentsRetired the sealed segments dropped by retention.
+	Fsyncs          int64 `json:"fsyncs"`
+	Rotations       int64 `json:"rotations"`
+	Compactions     int64 `json:"compactions"`
+	SegmentsRetired int64 `json:"segments_retired"`
+	// FramesReplayed and TornTails describe the boot replay: frames
+	// recovered and crash-torn tails truncated away.
+	FramesReplayed int64 `json:"frames_replayed"`
+	TornTails      int64 `json:"torn_tails"`
+}
+
+// LogStats returns the segment log's counters; Enabled is false (and all
+// else zero) for a memory-only aggregator.
+func (g *Aggregator) LogStats() LogStats {
+	if g.log == nil {
+		return LogStats{}
+	}
+	segs, bytes := g.log.segmentCounts()
+	return LogStats{
+		Enabled:         true,
+		Segments:        segs,
+		Bytes:           bytes,
+		Appends:         g.log.appends.Load(),
+		AppendBytes:     g.log.appendBytes.Load(),
+		AppendErrors:    g.log.appendErrs.Load(),
+		Fsyncs:          g.log.fsyncs.Load(),
+		Rotations:       g.log.rotations.Load(),
+		Compactions:     g.log.compactions.Load(),
+		SegmentsRetired: g.log.retired.Load(),
+		FramesReplayed:  g.log.replayed.Load(),
+		TornTails:       g.log.tornTails.Load(),
+	}
+}
+
 // --- HTTP surface ---
 
 // ServeHTTP serves the aggregator's routes; mount it under /fleet/ (e.g.
@@ -466,6 +694,11 @@ func (g *Aggregator) Shards() []ShardStatus {
 //	GET  /fleet/shards    per-shard host counts, delta/resync counters and
 //	                      merge-cache hit rates; ?host=NAME answers which
 //	                      shard a host routes to
+//	GET  /fleet/history   windowed merge over the retained segment log:
+//	                      ?from=&to= (RFC3339 or unix seconds/nanos) bound
+//	                      the window, ?vm=NAME narrows to one VM,
+//	                      ?view=vms returns every per-VM merge
+//	GET  /fleet/log       segment-log size and maintenance counters
 //	POST /fleet/push      one wire frame from an agent (full or delta;
 //	                      an unappliable delta is a 409 asking the agent
 //	                      to resync with full state)
@@ -497,6 +730,18 @@ func (g *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeFleetJSON(w, g.Shards())
+	case "history":
+		if r.Method != http.MethodGet {
+			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
+			return
+		}
+		g.serveHistory(w, r)
+	case "log":
+		if r.Method != http.MethodGet {
+			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
+			return
+		}
+		writeFleetJSON(w, g.LogStats())
 	case "push":
 		if r.Method != http.MethodPost {
 			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodPost)
@@ -601,6 +846,28 @@ func (g *Aggregator) FleetCluster() *core.Snapshot {
 // fresh hosts, sorted by VM name.
 func (g *Aggregator) FleetVMs() []*core.Snapshot {
 	return g.VMSnapshots(false)
+}
+
+// FleetLogStats implements telemetry.FleetLogSource: segment-log size and
+// maintenance counters for the vscsistats_fleet_log_* series.
+func (g *Aggregator) FleetLogStats() (telemetry.FleetLog, bool) {
+	st := g.LogStats()
+	if !st.Enabled {
+		return telemetry.FleetLog{}, false
+	}
+	return telemetry.FleetLog{
+		Segments:        st.Segments,
+		Bytes:           st.Bytes,
+		Appends:         st.Appends,
+		AppendBytes:     st.AppendBytes,
+		AppendErrors:    st.AppendErrors,
+		Fsyncs:          st.Fsyncs,
+		Rotations:       st.Rotations,
+		Compactions:     st.Compactions,
+		SegmentsRetired: st.SegmentsRetired,
+		FramesReplayed:  st.FramesReplayed,
+		TornTails:       st.TornTails,
+	}, true
 }
 
 // FleetShards implements telemetry.FleetShardSource: per-shard gauges and

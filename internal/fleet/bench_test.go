@@ -135,6 +135,73 @@ func BenchmarkFleetIngest1024(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetReplay1024 measures a boot replay of a 1024-host segment
+// log — the restart cost the log trades for zero agent resyncs. CI fences
+// it alongside the ingest fence.
+func BenchmarkFleetReplay1024(b *testing.B) {
+	dir := b.TempDir()
+	cfg := AggregatorConfig{StaleAfter: time.Hour, DataDir: dir}
+	agg, _, err := OpenAggregator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	hosts := fleetHostNames(1024)
+	benchPopulate(b, agg, hosts)
+	if err := agg.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, st, err := OpenAggregator(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Hosts != len(hosts) {
+			b.Fatalf("replay recovered %d hosts, want %d", st.Hosts, len(hosts))
+		}
+		g.Close()
+	}
+}
+
+// BenchmarkFleetHistoryQuery measures one whole-fleet /fleet/history
+// window over a populated log: 64 hosts × 4-frame chains scanned from
+// disk, windowed and merged per query.
+func BenchmarkFleetHistoryQuery(b *testing.B) {
+	dir := b.TempDir()
+	cfg := AggregatorConfig{StaleAfter: time.Hour, DataDir: dir}
+	agg, _, err := OpenAggregator(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer agg.Close()
+	const variants = 8
+	rotations := make([][]*core.Snapshot, variants)
+	for v := 0; v < variants; v++ {
+		rotations[v] = makeRegistry(v, 1, 1, 50).Snapshots()
+	}
+	for i, h := range fleetHostNames(64) {
+		for seq := uint64(1); seq <= 4; seq++ {
+			if err := agg.Ingest(&Batch{
+				Host: h, Seq: seq, SentUnixNano: time.Now().UnixNano(),
+				Snapshots: rotations[(i+int(seq))%variants],
+			}, "push"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	from, to := time.Unix(0, 0), time.Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := agg.History(from, to)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Hosts != 64 {
+			b.Fatalf("history saw %d hosts, want 64", res.Hosts)
+		}
+	}
+}
+
 // benchWireBytes measures the steady-state wire cost of one push interval
 // on a slowly-changing host: 8 disks of which one saw traffic. Full sends
 // everything every time; Delta sends one disk's interval delta and omits

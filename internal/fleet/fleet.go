@@ -5,7 +5,7 @@
 // needs: a datacenter-wide seek-distance histogram is the bin-wise sum of
 // every host's, with nothing lost to sampling or re-binning.
 //
-// The package has three parts:
+// The package has four parts:
 //
 //   - a versioned, length-prefixed, gzip-framed wire codec (wire.go) that
 //     carries batches of core.Snapshot between processes;
@@ -16,7 +16,13 @@
 //   - an Aggregator that ingests pushes, scatter-gathers pulls from
 //     registered agents concurrently, tracks per-host liveness/staleness,
 //     and merges per-host snapshots into per-VM and cluster-wide views via
-//     core.Aggregate (bin-exact, all/reads/writes preserved).
+//     core.Aggregate (bin-exact, all/reads/writes preserved);
+//   - a crash-safe segment log (log.go) that persists every state-changing
+//     batch as raw wire frames under a data dir, replays them on boot
+//     through the same strict apply rules (truncating a crash-torn tail
+//     frame, refusing to start on corruption), compacts chains into full
+//     frames, retires segments past a retention horizon, and answers
+//     windowed histograms-over-time queries (history.go, /fleet/history).
 //
 // Failure model: agents and the aggregator are mutually untrusted over an
 // unreliable network. A dead agent simply stops appearing: its last batch

@@ -1,0 +1,212 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vscsistats/internal/core"
+)
+
+// timedChain builds one host's chain of three captures sent at t0 < t1 < t2
+// (a full, then two deltas) and returns the batches plus the cumulative
+// state after each capture.
+func timedChain(hostSeed int, t0, t1, t2 time.Time) (batches []*Batch, states [3][]*core.Snapshot) {
+	host := "esx-" + string(rune('a'+hostSeed))
+	reg := makeRegistry(hostSeed, 2, 2, 100)
+	states[0] = reg.Snapshots()
+	batches = append(batches, &Batch{Host: host, Seq: 1, SentUnixNano: t0.UnixNano(), Snapshots: states[0]})
+	for i, at := range []time.Time{t1, t2} {
+		for j, col := range reg.List() {
+			feed(col, hostSeed*100+i*10+j, 70)
+		}
+		states[i+1] = reg.Snapshots()
+		batches = append(batches, &Batch{
+			Host: host, Seq: uint64(i + 2), SentUnixNano: at.UnixNano(),
+			Delta: true, BaseSeq: uint64(i + 1), Snapshots: subSnaps(states[i+1], states[i]),
+		})
+	}
+	return batches, states
+}
+
+// TestHistoryWindows pins the window algebra on a single host's chain:
+// a window covering the whole chain returns the full state, an interior
+// window returns exactly the per-disk interval subtraction between its
+// boundary states, and a window after the last frame returns nothing.
+func TestHistoryWindows(t *testing.T) {
+	dir := t.TempDir()
+	g, _, err := OpenAggregator(logAggConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	t1, t2 := t0.Add(time.Minute), t0.Add(2*time.Minute)
+	batches, states := timedChain(0, t0, t1, t2)
+	ingestAll(t, g, batches)
+
+	check := func(label string, from, to time.Time, want []*core.Snapshot) {
+		t.Helper()
+		res, err := g.History(from, to)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		if want == nil {
+			if res.Hosts != 0 || res.Cluster != nil {
+				t.Errorf("%s: expected an empty window, got %d hosts", label, res.Hosts)
+			}
+			return
+		}
+		if res.Hosts != 1 {
+			t.Fatalf("%s: %d hosts in window, want 1", label, res.Hosts)
+		}
+		if !sameSnapshot(res.Cluster, core.Aggregate("cluster", "*", want...)) {
+			t.Errorf("%s: windowed cluster merge is not the expected subtraction", label)
+		}
+	}
+
+	epoch := time.Unix(0, 0)
+	check("whole chain", epoch, t2, states[2])
+	check("up to first capture", epoch, t0, states[0])
+	check("first interval", t0, t1, subSnaps(states[1], states[0]))
+	check("second interval", t1, t2, subSnaps(states[2], states[1]))
+	check("both intervals", t0, t2, subSnaps(states[2], states[0]))
+	check("after the last frame", t2, t2.Add(time.Hour), nil)
+
+	// Boundaries are (from, to]: a window ending exactly on a frame's sent
+	// time includes it, one starting there does not.
+	check("exact end boundary", t0, t1, subSnaps(states[1], states[0]))
+	if _, err := g.History(time.Time{}, time.Time{}); err != nil {
+		t.Errorf("degenerate window errored: %v", err)
+	}
+}
+
+// TestHistorySpansRestart is the acceptance check for the history half of
+// the tentpole: frames written before a restart and frames written after
+// it answer one continuous window query from the reopened aggregator.
+func TestHistorySpansRestart(t *testing.T) {
+	dir := t.TempDir()
+	t0 := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	t1, t2 := t0.Add(time.Minute), t0.Add(2*time.Minute)
+	batches, states := timedChain(0, t0, t1, t2)
+
+	g, _, err := OpenAggregator(logAggConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, g, batches[:2]) // t0 full + t1 delta, then the restart
+	g.Close()
+
+	g2, _, err := OpenAggregator(logAggConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g2.Close()
+	ingestAll(t, g2, batches[2:]) // t2 delta lands after the restart
+
+	res, err := g2.History(t0, t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := core.Aggregate("cluster", "*", subSnaps(states[2], states[0])...)
+	if res.Hosts != 1 || !sameSnapshot(res.Cluster, want) {
+		t.Error("window spanning the restart is not the continuous subtraction")
+	}
+}
+
+// TestHistoryHTTP drives GET /fleet/history end to end: defaults, integer
+// and RFC3339 bounds, the vm filter, the vms view, and every documented
+// error status.
+func TestHistoryHTTP(t *testing.T) {
+	dir := t.TempDir()
+	g, _, err := OpenAggregator(logAggConfig(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+
+	// Anchored in the recent past so the endpoint's default to=now window
+	// covers the chain; truncated to seconds so RFC3339 bounds round-trip.
+	t0 := time.Now().Add(-time.Hour).Truncate(time.Second)
+	t1, t2 := t0.Add(time.Minute), t0.Add(2*time.Minute)
+	for h := 0; h < 2; h++ {
+		batches, _ := timedChain(h, t0, t1, t2)
+		ingestAll(t, g, batches)
+	}
+
+	get := func(query string, wantCode int) *HistoryResult {
+		t.Helper()
+		resp, err := http.Get(srv.URL + "/fleet/history" + query)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("GET %s: status %d, want %d", query, resp.StatusCode, wantCode)
+		}
+		if wantCode != http.StatusOK {
+			return nil
+		}
+		var res HistoryResult
+		if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+			t.Fatalf("GET %s: %v", query, err)
+		}
+		return &res
+	}
+
+	if res := get("", http.StatusOK); res.Hosts != 2 || res.Cluster == nil || res.VMs != nil {
+		t.Errorf("default window: hosts=%d cluster=%v vms=%v", res.Hosts, res.Cluster != nil, res.VMs)
+	}
+	nano := fmt.Sprintf("?from=%d&to=%d", t0.UnixNano(), t2.UnixNano())
+	if res := get(nano, http.StatusOK); res.Hosts != 2 {
+		t.Errorf("nanosecond bounds: hosts=%d, want 2", res.Hosts)
+	}
+	rfc := "?from=" + t0.Format(time.RFC3339) + "&to=" + t2.Format(time.RFC3339)
+	if res := get(rfc, http.StatusOK); res.Hosts != 2 {
+		t.Errorf("RFC3339 bounds: hosts=%d, want 2", res.Hosts)
+	}
+	vm := vmName(0, 0)
+	if res := get("?vm="+vm, http.StatusOK); len(res.VMs) != 1 || res.VMs[0].VM != vm || res.Cluster != nil {
+		t.Errorf("vm filter returned %+v", res.VMs)
+	}
+	if res := get("?view=vms", http.StatusOK); res.Cluster != nil || len(res.VMs) == 0 {
+		t.Errorf("vms view: cluster=%v vms=%d", res.Cluster != nil, len(res.VMs))
+	}
+	get("?vm=no-such-vm", http.StatusNotFound)
+	get("?from=yesterday-ish", http.StatusBadRequest)
+	get(fmt.Sprintf("?from=%d&to=%d", t2.Unix(), t0.Unix()), http.StatusBadRequest)
+
+	// Method and availability guards.
+	resp, err := http.Post(srv.URL+"/fleet/history", "text/plain", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /fleet/history: status %d, want 405", resp.StatusCode)
+	}
+	mem := httptest.NewServer(NewAggregator(AggregatorConfig{StaleAfter: time.Hour}))
+	defer mem.Close()
+	resp, err = http.Get(mem.URL + "/fleet/history")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("memory-only /fleet/history: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestHistoryOnMemoryAggregator pins the API-level refusal too.
+func TestHistoryOnMemoryAggregator(t *testing.T) {
+	g := NewAggregator(AggregatorConfig{StaleAfter: time.Hour})
+	if _, err := g.History(time.Unix(0, 0), time.Now()); err == nil {
+		t.Fatal("History on a memory-only aggregator did not error")
+	}
+}

@@ -67,31 +67,34 @@ type diskKey struct{ vm, disk string }
 // delta batches must build on exactly the sequence the shard holds —
 // anything else returns ErrResyncRequired so the agent falls back to a
 // full push. Duplicate delta deliveries (retries whose ack was lost) are
-// idempotent: liveness refreshes, nothing is applied twice.
-func (s *shard) ingest(b *Batch, source string, now time.Time) error {
+// idempotent: liveness refreshes, nothing is applied twice. The applied
+// result reports whether the batch changed stored state — the segment log
+// persists exactly those batches, so liveness-only refreshes and
+// duplicates never consume log space.
+func (s *shard) ingest(b *Batch, source string, now time.Time) (applied bool, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.hosts[b.Host]
 	if b.Delta {
 		if st == nil {
 			s.resyncs.Add(1)
-			return fmt.Errorf("%w: no state for host %q (aggregator restarted?)", ErrResyncRequired, b.Host)
+			return false, fmt.Errorf("%w: no state for host %q (aggregator restarted?)", ErrResyncRequired, b.Host)
 		}
 		st.lastSeen, st.source = now, source
 		if b.Seq <= st.seq {
 			st.batches++
 			s.batches.Add(1)
 			s.duplicates.Add(1)
-			return nil
+			return false, nil
 		}
 		if b.BaseSeq != st.seq {
 			s.resyncs.Add(1)
-			return fmt.Errorf("%w: delta base seq %d, host %q is at %d", ErrResyncRequired, b.BaseSeq, b.Host, st.seq)
+			return false, fmt.Errorf("%w: delta base seq %d, host %q is at %d", ErrResyncRequired, b.BaseSeq, b.Host, st.seq)
 		}
 		snaps, err := applyDeltaSnaps(st.snaps, b.Snapshots)
 		if err != nil {
 			s.resyncs.Add(1)
-			return fmt.Errorf("%w: %v", ErrResyncRequired, err)
+			return false, fmt.Errorf("%w: %v", ErrResyncRequired, err)
 		}
 		st.snaps = snaps
 		st.seq = b.Seq
@@ -100,7 +103,7 @@ func (s *shard) ingest(b *Batch, source string, now time.Time) error {
 		s.batches.Add(1)
 		s.deltasApplied.Add(1)
 		s.version++
-		return nil
+		return true, nil
 	}
 	if st == nil {
 		st = &hostState{host: b.Host}
@@ -114,9 +117,10 @@ func (s *shard) ingest(b *Batch, source string, now time.Time) error {
 		st.sentUnixNano = b.SentUnixNano
 		st.snaps = b.Snapshots
 		s.version++
+		applied = true
 	}
 	s.batches.Add(1)
-	return nil
+	return applied, nil
 }
 
 // applyDeltaSnaps reapplies a delta batch onto a host's stored full state.
@@ -138,6 +142,31 @@ func applyDeltaSnaps(base, deltas []*core.Snapshot) ([]*core.Snapshot, error) {
 		out[i] = out[i].ApplyDelta(d)
 	}
 	return out, nil
+}
+
+// fullBatches renders every host's current state as one full batch each,
+// sorted by host name — what segment-log compaction writes in place of a
+// host's full-plus-deltas chain. Snapshots are shared by reference
+// (immutable once stored), so this copies slice headers, not histograms.
+func (s *shard) fullBatches() []*Batch {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.hosts))
+	for h := range s.hosts {
+		names = append(names, h)
+	}
+	sort.Strings(names)
+	out := make([]*Batch, 0, len(names))
+	for _, h := range names {
+		st := s.hosts[h]
+		out = append(out, &Batch{
+			Host:         st.host,
+			Seq:          st.seq,
+			SentUnixNano: st.sentUnixNano,
+			Snapshots:    st.snaps,
+		})
+	}
+	return out
 }
 
 // forget drops a host; reports whether it existed.

@@ -68,6 +68,16 @@ var wireMagic = [4]byte{'V', 'S', 'F', 'B'}
 // malformed frame from transport errors with errors.Is.
 var ErrBadFrame = errors.New("fleet: bad frame")
 
+// ErrTruncatedFrame marks the subset of decode failures where the stream
+// simply ended inside a frame — the head, header or payload was cut short
+// by EOF rather than carrying bytes that contradict the format. Every
+// ErrTruncatedFrame is also an ErrBadFrame (errors.Is matches both). The
+// distinction is what makes log replay safe: a truncated tail means "crash
+// mid-write, truncate here and continue", while any other bad frame means
+// "corruption, refuse to start". The two are genuinely different on the
+// wire — truncation never produces wrong bytes, only missing ones.
+var ErrTruncatedFrame = errors.New("fleet: truncated frame")
+
 // Batch is one host's worth of snapshots in flight.
 type Batch struct {
 	// Host identifies the sending host; it is the aggregator's key.
@@ -160,19 +170,72 @@ func badFrame(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrBadFrame, fmt.Sprintf(format, args...))
 }
 
+// truncatedFrame builds an error matching both ErrBadFrame and
+// ErrTruncatedFrame: the stream ended inside a frame.
+func truncatedFrame(format string, args ...any) error {
+	return fmt.Errorf("%w: %w: %s", ErrBadFrame, ErrTruncatedFrame, fmt.Sprintf(format, args...))
+}
+
+// eofErr reports whether err is a flavor of "the stream ended": what
+// io.ReadFull returns when a fixed-length region is cut short.
+func eofErr(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// readSized reads exactly n declared bytes, growing the buffer chunk by
+// chunk instead of trusting the declaration: a hostile or corrupt length
+// prefix can claim up to maxPayloadLen (256 MiB), and allocating that up
+// front from the header alone — before a single payload byte has arrived —
+// hands any peer a cheap memory-pressure attack. Growing with the bytes
+// actually read caps the damage at one chunk past what the peer really
+// sent. A short read maps to ErrTruncatedFrame.
+func readSized(r io.Reader, n uint32, what string) ([]byte, error) {
+	const chunk = 1 << 20
+	total := int(n)
+	out := make([]byte, 0, min(total, chunk))
+	for len(out) < total {
+		step := min(total-len(out), chunk)
+		if cap(out)-len(out) < step {
+			grown := make([]byte, len(out), min(total, 2*cap(out)+step))
+			copy(grown, out)
+			out = grown
+		}
+		m, err := io.ReadFull(r, out[len(out):len(out)+step])
+		out = out[:len(out)+m]
+		if err != nil {
+			if eofErr(err) {
+				return nil, truncatedFrame("short %s: %d of %d bytes", what, len(out), total)
+			}
+			return nil, badFrame("short %s: %v", what, err)
+		}
+	}
+	return out, nil
+}
+
 // DecodeBatch reads exactly one frame from r. It returns io.EOF when r is
 // exhausted before the first byte (a clean end of stream) and an error
 // wrapping ErrBadFrame for any malformed frame; it never panics, whatever
-// the input.
+// the input. The subset of failures where the stream ended inside the
+// frame additionally matches ErrTruncatedFrame — segment-log replay uses
+// that to tell a crash-torn tail (truncate and continue) from corruption
+// (refuse to start). Declared lengths are never trusted for allocation:
+// buffers grow with the bytes actually read, so a hostile 256 MiB length
+// prefix on a ten-byte body costs one chunk, not 256 MiB.
 func DecodeBatch(r io.Reader) (*Batch, error) {
 	var head [16]byte
 	if _, err := io.ReadFull(r, head[:1]); err != nil {
 		if err == io.EOF {
 			return nil, io.EOF
 		}
+		if eofErr(err) {
+			return nil, truncatedFrame("short frame head: %v", err)
+		}
 		return nil, badFrame("short frame head: %v", err)
 	}
 	if _, err := io.ReadFull(r, head[1:]); err != nil {
+		if eofErr(err) {
+			return nil, truncatedFrame("short frame head: %v", err)
+		}
 		return nil, badFrame("short frame head: %v", err)
 	}
 	if !bytes.Equal(head[0:4], wireMagic[:]) {
@@ -193,17 +256,17 @@ func DecodeBatch(r io.Reader) (*Batch, error) {
 	if payloadLen > maxPayloadLen {
 		return nil, badFrame("payload length %d exceeds limit %d", payloadLen, maxPayloadLen)
 	}
-	header := make([]byte, headerLen)
-	if _, err := io.ReadFull(r, header); err != nil {
-		return nil, badFrame("short header: %v", err)
+	header, err := readSized(r, headerLen, "header")
+	if err != nil {
+		return nil, err
 	}
 	var hdr batchHeader
 	if err := json.Unmarshal(header, &hdr); err != nil {
 		return nil, badFrame("header JSON: %v", err)
 	}
-	payload := make([]byte, payloadLen)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, badFrame("short payload: %v", err)
+	payload, err := readSized(r, payloadLen, "payload")
+	if err != nil {
+		return nil, err
 	}
 	body := io.Reader(bytes.NewReader(payload))
 	if flags&flagGzip != 0 {

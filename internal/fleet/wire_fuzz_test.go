@@ -59,6 +59,25 @@ func FuzzDecodeBatch(f *testing.F) {
 	binary.BigEndian.PutUint32(huge[12:16], 0xffffffff)
 	f.Add(huge)
 
+	// Crash-torn tails: the same frame cut at every region boundary the
+	// decoder crosses (inside the head, the header, the payload), strided
+	// so the corpus stays small. Replay leans on every one of these cuts
+	// mapping to ErrTruncatedFrame rather than a panic or a false decode.
+	tornReg := makeRegistry(3, 1, 1, 80)
+	torn, err := EncodeBatchBytes(&Batch{Host: "seed-torn", Seq: 3, Snapshots: tornReg.Snapshots()})
+	if err != nil {
+		f.Fatal(err)
+	}
+	stride := max(1, len(torn)/32)
+	for cut := 1; cut < len(torn); cut += stride {
+		f.Add(torn[:cut])
+	}
+	// A maximal declared payload over a near-empty body: the hostile
+	// length prefix the chunked reader must absorb without allocating it.
+	lying := append([]byte(nil), torn[:24]...)
+	binary.BigEndian.PutUint32(lying[12:16], maxPayloadLen)
+	f.Add(lying)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := DecodeBatch(bytes.NewReader(data))
 		if err != nil {

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"io"
+	"runtime"
 	"testing"
 
 	"vscsistats/internal/core"
@@ -123,6 +124,78 @@ func TestWireRejectsCorruptFrames(t *testing.T) {
 	future[4] = 9
 	if _, err := DecodeBatch(bytes.NewReader(future)); err != nil {
 		t.Errorf("future version rejected: %v", err)
+	}
+}
+
+// TestWireTruncationIsTyped cuts a valid frame at every byte: each cut
+// must decode to an error matching BOTH ErrBadFrame (it is malformed) and
+// ErrTruncatedFrame (the stream ended inside the frame) — the typed
+// distinction segment-log replay uses to truncate a crash-torn tail
+// instead of refusing the whole log. The zero-byte cut is the one clean
+// case: io.EOF, a stream that ended between frames.
+func TestWireTruncationIsTyped(t *testing.T) {
+	frame, err := EncodeBatchBytes(testBatch(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeBatch(bytes.NewReader(nil)); err != io.EOF {
+		t.Errorf("empty stream: %v, want io.EOF", err)
+	}
+	for cut := 1; cut < len(frame); cut++ {
+		_, err := DecodeBatch(bytes.NewReader(frame[:cut]))
+		if err == nil {
+			t.Fatalf("cut at byte %d decoded successfully", cut)
+		}
+		if !errors.Is(err, ErrTruncatedFrame) || !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("cut at byte %d: %v, want ErrTruncatedFrame wrapping ErrBadFrame", cut, err)
+		}
+	}
+	// Corruption, by contrast, must NOT read as truncation — replay would
+	// otherwise silently discard a damaged chain's tail.
+	bad := append([]byte(nil), frame...)
+	bad[0] = 'X'
+	if _, err := DecodeBatch(bytes.NewReader(bad)); !errors.Is(err, ErrBadFrame) || errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("bad magic: %v, want plain ErrBadFrame", err)
+	}
+	garbled := append([]byte(nil), frame...)
+	for i := len(garbled) - 20; i < len(garbled); i++ {
+		garbled[i] ^= 0xff
+	}
+	if _, err := DecodeBatch(bytes.NewReader(garbled)); err == nil || errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("garbled payload: %v, want a non-truncation error", err)
+	}
+}
+
+// TestWireHostileLengthAllocation pins the progressive-allocation fix: a
+// frame head declaring the maximum 256 MiB payload backed by a handful of
+// real bytes must fail as a truncated frame after allocating no more than
+// a couple of read chunks — not the full declared size. (The old code
+// made one payload-sized allocation straight from the header, handing any
+// peer a memory-pressure attack for 16 bytes of input.)
+func TestWireHostileLengthAllocation(t *testing.T) {
+	frame, err := EncodeBatchBytes(testBatch(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostile := append([]byte(nil), frame...)
+	binary.BigEndian.PutUint32(hostile[12:16], maxPayloadLen)
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, err = DecodeBatch(bytes.NewReader(hostile))
+	runtime.ReadMemStats(&after)
+	if !errors.Is(err, ErrTruncatedFrame) {
+		t.Fatalf("hostile payload length: %v, want ErrTruncatedFrame", err)
+	}
+	if grew := after.TotalAlloc - before.TotalAlloc; grew > 16<<20 {
+		t.Errorf("decoding a 16-byte lie allocated %d bytes, want chunked growth well under 16 MiB", grew)
+	}
+
+	// The header length is chunk-allocated the same way.
+	hostile = append([]byte(nil), frame[:16]...)
+	binary.BigEndian.PutUint32(hostile[8:12], maxHeaderLen)
+	if _, err := DecodeBatch(bytes.NewReader(hostile)); !errors.Is(err, ErrTruncatedFrame) {
+		t.Errorf("hostile header length: %v, want ErrTruncatedFrame", err)
 	}
 }
 

@@ -57,8 +57,10 @@ type Options struct {
 	Series SeriesSource
 	// Fleet serves every /fleet/... route (e.g. a fleet.Aggregator):
 	// /fleet/hosts, /fleet/snapshot, /fleet/shards (per-shard routing,
-	// delta-protocol and merge-cache counters), /fleet/push (full or delta
-	// frames; 409 asks the agent to resync with full state).
+	// delta-protocol and merge-cache counters), /fleet/history (windowed
+	// merges over the aggregator's retained segment log), /fleet/log
+	// (segment-log size and maintenance counters), /fleet/push (full or
+	// delta frames; 409 asks the agent to resync with full state).
 	Fleet http.Handler
 	// Pprof mounts net/http/pprof under /debug/pprof/... for profiling the
 	// observation fast path in situ (CPU, heap, mutex, block). Off by

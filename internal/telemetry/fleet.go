@@ -47,6 +47,30 @@ type FleetShardSource interface {
 	FleetShards() []FleetShard
 }
 
+// FleetLog is the segment log's size and maintenance counters.
+type FleetLog struct {
+	Segments        int
+	Bytes           int64
+	Appends         int64
+	AppendBytes     int64
+	AppendErrors    int64
+	Fsyncs          int64
+	Rotations       int64
+	Compactions     int64
+	SegmentsRetired int64
+	FramesReplayed  int64
+	TornTails       int64
+}
+
+// FleetLogSource is the optional durability extension of FleetSource: a
+// source backed by a segment log also reports the log's size and
+// maintenance counters (false when the aggregator is memory-only, which
+// suppresses the series entirely). The exporter type-asserts, mirroring
+// FleetShardSource.
+type FleetLogSource interface {
+	FleetLogStats() (FleetLog, bool)
+}
+
 // WithFleet attaches a fleet aggregator and returns the exporter. Scrapes
 // then include the vscsistats_fleet_* series: host liveness gauges, merged
 // cluster counters, per-VM command counters, and the six paper histograms
@@ -96,6 +120,11 @@ func (e *Exporter) writeFleet(p *promWriter) {
 
 	if src, ok := e.fleet.(FleetShardSource); ok {
 		writeFleetShards(p, src.FleetShards())
+	}
+	if src, ok := e.fleet.(FleetLogSource); ok {
+		if log, enabled := src.FleetLogStats(); enabled {
+			writeFleetLog(p, log)
+		}
 	}
 
 	cluster := e.fleet.FleetCluster()
@@ -174,6 +203,34 @@ func writeFleetShards(p *promWriter, shards []FleetShard) {
 		for _, s := range shards {
 			p.sample(f.name, `shard="`+strconv.Itoa(s.Index)+`"`, strconv.FormatInt(f.get(s), 10))
 		}
+	}
+}
+
+// writeFleetLog emits the vscsistats_fleet_log_* series: the aggregator's
+// segment-log footprint and maintenance counters (append/fsync/rotation/
+// compaction activity, retention drops, and the boot replay's recovery
+// numbers).
+func writeFleetLog(p *promWriter, log FleetLog) {
+	type series struct {
+		name, typ, help string
+		value           int64
+	}
+	families := []series{
+		{"vscsistats_fleet_log_segments", "gauge", "Live segment files in the aggregator's durability log.", int64(log.Segments)},
+		{"vscsistats_fleet_log_bytes", "gauge", "Bytes held by the segment log.", log.Bytes},
+		{"vscsistats_fleet_log_appends_total", "counter", "Frames appended to the segment log.", log.Appends},
+		{"vscsistats_fleet_log_append_bytes_total", "counter", "Bytes appended to the segment log.", log.AppendBytes},
+		{"vscsistats_fleet_log_append_errors_total", "counter", "Appends absorbed after an encode or I/O failure.", log.AppendErrors},
+		{"vscsistats_fleet_log_fsyncs_total", "counter", "Batched fsyncs issued by the segment log.", log.Fsyncs},
+		{"vscsistats_fleet_log_rotations_total", "counter", "Segment rotations.", log.Rotations},
+		{"vscsistats_fleet_log_compactions_total", "counter", "Shard chains rewritten as one full-frame segment.", log.Compactions},
+		{"vscsistats_fleet_log_segments_retired_total", "counter", "Sealed segments dropped by retention.", log.SegmentsRetired},
+		{"vscsistats_fleet_log_frames_replayed_total", "counter", "Frames recovered by boot replay.", log.FramesReplayed},
+		{"vscsistats_fleet_log_torn_tails_total", "counter", "Crash-torn tail frames truncated away at replay.", log.TornTails},
+	}
+	for _, f := range families {
+		p.family(f.name, f.typ, f.help)
+		p.sample(f.name, "", strconv.FormatInt(f.value, 10))
 	}
 }
 

@@ -436,6 +436,9 @@ type (
 	FleetAggregatorStats  = fleet.AggregatorStats
 	FleetHostStatus       = fleet.HostStatus
 	FleetShardStatus      = fleet.ShardStatus
+	FleetLogStats         = fleet.LogStats
+	FleetReplayStats      = fleet.ReplayStats
+	FleetHistoryResult    = fleet.HistoryResult
 	SnapshotBatch         = fleet.Batch
 )
 
@@ -444,17 +447,33 @@ type (
 // surface maps it to 409 and agents answer it with a full-state push.
 var ErrFleetResyncRequired = fleet.ErrResyncRequired
 
+// ErrFleetTruncatedFrame matches the subset of wire-decode failures where
+// the stream simply ended inside a frame (crash mid-write) rather than
+// carrying bytes that contradict the format; segment-log replay truncates
+// on it and refuses to start on anything else.
+var ErrFleetTruncatedFrame = fleet.ErrTruncatedFrame
+
 // NewFleetAgent builds a fleet agent over the registry; Start launches the
 // push loop, PushNow pushes synchronously.
 func NewFleetAgent(reg *Registry, cfg FleetAgentConfig) *FleetAgent {
 	return fleet.NewAgent(reg, cfg)
 }
 
-// NewFleetAggregator builds a fleet aggregator; mount it via
+// NewFleetAggregator builds a memory-only fleet aggregator; mount it via
 // StatsOptions.Fleet and chain MetricsExporter.WithFleet for the merged
 // fleet_* Prometheus series.
 func NewFleetAggregator(cfg FleetAggregatorConfig) *FleetAggregator {
 	return fleet.NewAggregator(cfg)
+}
+
+// OpenFleetAggregator builds a fleet aggregator backed by the crash-safe
+// segment log under cfg.DataDir: existing segments replay on boot (so a
+// restart recovers the fleet without agent resyncs, truncating a crash-torn
+// tail frame), every state-changing batch is appended from then on, and
+// the retained log answers GET /fleet/history range queries. With an empty
+// DataDir this is exactly NewFleetAggregator.
+func OpenFleetAggregator(cfg FleetAggregatorConfig) (*FleetAggregator, FleetReplayStats, error) {
+	return fleet.OpenAggregator(cfg)
 }
 
 // EncodeSnapshotBatch and DecodeSnapshotBatch are the fleet wire codec:
