@@ -25,7 +25,10 @@
 // BenchmarkFleetIngest1024 plus BenchmarkFleetReplay1024 with -fleet) and
 // fails (exit 1) if any regressed more than -tolerance percent over the
 // entry named by -against, so CI catches regressions without re-running
-// the full suite.
+// the full suite. With -fleet it also measures the traced-ingest variant
+// (BenchmarkFleetIngest1024Traced) in the same session and fails if
+// observability costs more than 5% over the untraced fence — a relative
+// fence, so machine speed cancels out.
 package main
 
 import (
@@ -81,7 +84,7 @@ var suite = []benchSpec{
 // configurations reproduce the pre-shard single-mutex aggregator, so one
 // entry holds both the "before" and "after" numbers.
 var fleetSuite = []benchSpec{
-	{"./internal/fleet", "^BenchmarkFleetIngestScrape(Mono|Sharded)(256|1024)$|^BenchmarkFleetIngest1024$", nil},
+	{"./internal/fleet", "^BenchmarkFleetIngestScrape(Mono|Sharded)(256|1024)$|^BenchmarkFleetIngest1024(Traced)?$", nil},
 	{"./internal/fleet", "^BenchmarkFleetWireBytes(Full|Delta)$", nil},
 	{"./internal/fleet", "^BenchmarkFleetMerge(Cached|Uncached)$", nil},
 	{"./internal/fleet", "^BenchmarkFleetReplay1024$|^BenchmarkFleetHistoryQuery$", nil},
@@ -102,11 +105,19 @@ func main() {
 	flag.Parse()
 
 	benches, fences, fencePkg := suite, []string{"BenchmarkTable2StatsOn"}, "."
+	var relFences []relFence
 	if *fleet {
 		// Two fleet fences: the ingest fast path and the boot replay the
-		// segment log added — a slow restart is a regression too.
+		// segment log added — a slow restart is a regression too. Plus one
+		// relative fence: traced ingest must stay within 5% of untraced,
+		// both measured fresh in this session.
 		benches, fencePkg = fleetSuite, "./internal/fleet"
 		fences = []string{"BenchmarkFleetIngest1024", "BenchmarkFleetReplay1024"}
+		relFences = []relFence{{
+			bench:   "BenchmarkFleetIngest1024Traced",
+			against: "BenchmarkFleetIngest1024",
+			maxPct:  5,
+		}}
 	}
 	if *file == "" {
 		*file = "BENCH_fastpath.json"
@@ -116,7 +127,7 @@ func main() {
 	}
 
 	if *check {
-		os.Exit(runCheck(*file, *against, fences, fencePkg, *count, *benchtime, *tolerance))
+		os.Exit(runCheck(*file, *against, fences, relFences, fencePkg, *count, *benchtime, *tolerance))
 	}
 
 	results := make(map[string]float64)
@@ -287,10 +298,20 @@ func record(path, note string, entry benchEntry) error {
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
+// relFence is a same-session comparison: bench must run within maxPct of
+// against, both measured fresh in this runCheck — no recorded entry, so
+// machine-speed differences cancel out. Used for the traced-ingest
+// observability overhead bound.
+type relFence struct {
+	bench, against string
+	maxPct         float64
+}
+
 // runCheck is the CI fence: measure the fence benchmarks fresh in one
-// `go test -bench` run, compare each against the recorded entry, and
-// report pass/fail for the set.
-func runCheck(path, against string, fences []string, fencePkg string, count int, benchtime string, tolerance float64) int {
+// `go test -bench` run, compare each against the recorded entry (and each
+// relative fence against its in-session reference), and report pass/fail
+// for the set.
+func runCheck(path, against string, fences []string, relFences []relFence, fencePkg string, count int, benchtime string, tolerance float64) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchfastpath: %v\n", err)
@@ -315,8 +336,12 @@ func runCheck(path, against string, fences []string, fencePkg string, count int,
 			return 1
 		}
 	}
+	measure := append([]string{}, fences...)
+	for _, r := range relFences {
+		measure = append(measure, r.bench)
+	}
 	results := make(map[string]float64)
-	if err := runBench(fencePkg, "^("+strings.Join(fences, "|")+")$", count, benchtime, nil, results); err != nil {
+	if err := runBench(fencePkg, "^("+strings.Join(measure, "|")+")$", count, benchtime, nil, results); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 1
 	}
@@ -333,6 +358,24 @@ func runCheck(path, against string, fences []string, fencePkg string, count int,
 			strings.TrimPrefix(fence, "Benchmark"), got, path, against, ref, tolerance, limit)
 		if got > limit {
 			fmt.Printf("FAIL: %s regressed %.1f%% over %q\n", strings.TrimPrefix(fence, "Benchmark"), (got/ref-1)*100, against)
+			failed++
+		}
+	}
+	for _, r := range relFences {
+		got, ok := results[r.bench]
+		base, okBase := results[r.against]
+		if !ok || !okBase {
+			fmt.Fprintf(os.Stderr, "benchfastpath: relative fence %s vs %s missing a result\n", r.bench, r.against)
+			return 1
+		}
+		limit := base * (1 + r.maxPct/100)
+		fmt.Printf("%s: %.2f ns/op, in-session %s: %.2f ns/op, limit +%.0f%%: %.2f ns/op\n",
+			strings.TrimPrefix(r.bench, "Benchmark"), got,
+			strings.TrimPrefix(r.against, "Benchmark"), base, r.maxPct, limit)
+		if got > limit {
+			fmt.Printf("FAIL: %s costs %.1f%% over %s\n",
+				strings.TrimPrefix(r.bench, "Benchmark"), (got/base-1)*100,
+				strings.TrimPrefix(r.against, "Benchmark"))
 			failed++
 		}
 	}

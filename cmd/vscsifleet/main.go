@@ -33,7 +33,9 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"vscsistats"
@@ -83,8 +85,9 @@ func runAggregator(listen string, stale time.Duration, shards int, pull string, 
 	if listen == "" {
 		listen = ":9108"
 	}
+	obs := vscsistats.NewFleetObsTracker(vscsistats.FleetObsConfig{})
 	agg, replay, err := vscsistats.OpenFleetAggregator(vscsistats.FleetAggregatorConfig{
-		StaleAfter: stale, Shards: shards, DataDir: dataDir, Retention: retention,
+		StaleAfter: stale, Shards: shards, DataDir: dataDir, Retention: retention, Obs: obs,
 	})
 	if err != nil {
 		return err
@@ -114,12 +117,28 @@ func runAggregator(listen string, stale time.Duration, shards int, pull string, 
 	// surface (and /healthz) comes up uniform with every other node.
 	reg := vscsistats.NewRegistry()
 	handler := vscsistats.NewStatsHandlerWith(reg, vscsistats.StatsOptions{
-		Metrics: vscsistats.NewMetricsExporter(reg).WithFleet(agg),
-		Fleet:   agg,
+		Metrics:    vscsistats.NewMetricsExporter(reg).WithFleet(agg).WithFleetObs(obs),
+		Fleet:      agg,
+		FleetTrace: obs.ChromeTraceHandler(),
 	})
-	fmt.Fprintf(os.Stderr, "aggregator on %s (%d shards; /fleet/hosts, /fleet/snapshot, /fleet/shards, /fleet/history, /fleet/log, /fleet/push, /metrics, /healthz; stale after %s)\n",
+	fmt.Fprintf(os.Stderr, "aggregator on %s (%d shards; /fleet/hosts, /fleet/snapshot, /fleet/shards, /fleet/history, /fleet/log, /fleet/events, /fleet/slow, /fleet/push, /metrics, /debug/fleettrace, /healthz; stale after %s)\n",
 		listen, agg.NumShards(), stale)
-	return http.ListenAndServe(listen, handler)
+
+	// Serve until SIGINT/SIGTERM, then close the segment log so the final
+	// fsync lands before exit — a signal must not look like a crash.
+	srv := &http.Server{Addr: listen, Handler: handler}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "aggregator: %s: syncing segment log and shutting down\n", sig)
+		srv.Close()
+		return agg.Close()
+	}
 }
 
 func runAgent(listen, host, push string, interval time.Duration, workload string, fullPush bool, seed int64, speed int, duration time.Duration) error {
@@ -141,8 +160,9 @@ func runAgent(listen, host, push string, interval time.Duration, workload string
 	sc.VD.Collector.Enable()
 	reg := sc.Host.Registry()
 
+	obs := vscsistats.NewFleetObsTracker(vscsistats.FleetObsConfig{})
 	agent := vscsistats.NewFleetAgent(reg, vscsistats.FleetAgentConfig{
-		Host: host, Endpoint: push, Interval: interval, DisableDeltas: fullPush,
+		Host: host, Endpoint: push, Interval: interval, DisableDeltas: fullPush, Obs: obs,
 	})
 	if push != "" {
 		agent.Start()
@@ -150,7 +170,8 @@ func runAgent(listen, host, push string, interval time.Duration, workload string
 	}
 	if listen != "" {
 		handler := vscsistats.NewStatsHandlerWith(reg, vscsistats.StatsOptions{
-			Metrics: vscsistats.NewMetricsExporter(reg).WithDiskStats(sc.Host),
+			Metrics:    vscsistats.NewMetricsExporter(reg).WithDiskStats(sc.Host).WithFleetObs(obs),
+			FleetTrace: obs.ChromeTraceHandler(),
 		})
 		go http.ListenAndServe(listen, handler)
 		fmt.Fprintf(os.Stderr, "agent %s stats on %s\n", host, listen)
@@ -159,11 +180,15 @@ func runAgent(listen, host, push string, interval time.Duration, workload string
 		host, workload, speed, orNone(push), interval)
 
 	// Advance virtual time in wall-paced steps so the histograms keep
-	// accumulating while the agent pushes from its own goroutine.
+	// accumulating while the agent pushes from its own goroutine. A
+	// SIGINT/SIGTERM ends the run like -duration does: one final push
+	// drains the queue before exit.
 	var stop <-chan time.Time
 	if duration > 0 {
 		stop = time.After(duration)
 	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	tick := time.NewTicker(time.Second)
 	defer tick.Stop()
 	now := sc.Eng.Now()
@@ -172,15 +197,19 @@ func runAgent(listen, host, push string, interval time.Duration, workload string
 		case <-tick.C:
 			now += vscsistats.Time(speed) * vscsistats.Second
 			sc.Eng.RunUntil(now)
+			continue
 		case <-stop:
-			if push != "" {
-				agent.PushNow()
-				st := agent.Stats()
-				fmt.Fprintf(os.Stderr, "agent %s done: %d pushes (%d deltas, %d resyncs), %d errors, %d dropped\n",
-					host, st.Pushes, st.DeltaPushes, st.Resyncs, st.Errors, st.Dropped)
-			}
-			return nil
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "agent %s: %s: draining final push\n", host, sig)
 		}
+		if push != "" {
+			agent.PushNow()
+			agent.Stop()
+			st := agent.Stats()
+			fmt.Fprintf(os.Stderr, "agent %s done: %d pushes (%d deltas, %d resyncs), %d errors, %d dropped\n",
+				host, st.Pushes, st.DeltaPushes, st.Resyncs, st.Errors, st.Dropped)
+		}
+		return nil
 	}
 }
 

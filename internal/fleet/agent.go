@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"vscsistats/internal/core"
+	"vscsistats/internal/fleetobs"
 )
 
 // errResync reports a delta push the aggregator refused with a 4xx: the
@@ -52,6 +53,11 @@ type AgentConfig struct {
 	// Client overrides the HTTP client (default: a dedicated client; the
 	// per-request timeout always comes from Timeout).
 	Client *http.Client
+	// Obs, when set, receives per-stage latency samples (capture, delta
+	// render, encode, push round-trip, queue dwell) and trace-stamped
+	// pipeline events. Nil disables agent-side observability at the cost
+	// of one branch per stage.
+	Obs *fleetobs.Tracker
 }
 
 func (c *AgentConfig) withDefaults() AgentConfig {
@@ -83,6 +89,9 @@ type queued struct {
 	seq          uint64
 	sentUnixNano int64
 	full         []*core.Snapshot
+	// traceID is stamped at capture and rides the frame header, so this
+	// one push is followable across processes.
+	traceID string
 }
 
 // ackedBase is the last registry state the aggregator acknowledged — the
@@ -142,6 +151,10 @@ type Agent struct {
 	stopOnce  sync.Once
 	stop      chan struct{}
 	done      chan struct{}
+
+	// traceSalt distinguishes trace IDs across agent restarts, where seq
+	// starts over from 1.
+	traceSalt uint32
 }
 
 // NewAgent builds an agent over the registry. It does not start pushing;
@@ -150,13 +163,22 @@ func NewAgent(reg *core.Registry, cfg AgentConfig) *Agent {
 	if cfg.Host == "" {
 		panic("fleet: AgentConfig.Host is required")
 	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	return &Agent{
-		cfg:  cfg.withDefaults(),
-		reg:  reg,
-		stop: make(chan struct{}),
-		done: make(chan struct{}),
-		rng:  rand.New(rand.NewSource(time.Now().UnixNano())),
+		cfg:       cfg.withDefaults(),
+		reg:       reg,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		rng:       rng,
+		traceSalt: uint32(rng.Int63()),
 	}
+}
+
+// traceID renders the capture's end-to-end trace identity:
+// host-salt-seq, unique across the fleet (host) and across agent
+// restarts (salt).
+func (a *Agent) traceID(seq uint64) string {
+	return fmt.Sprintf("%s-%08x-%d", a.cfg.Host, a.traceSalt, seq)
 }
 
 // Host returns the agent's fleet identity.
@@ -238,11 +260,17 @@ func (a *Agent) PushNow() error {
 // beyond the registry's own and no network: this is the path that must
 // stay fast however sick the aggregator is.
 func (a *Agent) buildBatch() *queued {
-	return &queued{
+	start := time.Now()
+	q := &queued{
 		seq:          a.seq.Add(1),
-		sentUnixNano: time.Now().UnixNano(),
+		sentUnixNano: start.UnixNano(),
 		full:         a.reg.Snapshots(),
 	}
+	q.traceID = a.traceID(q.seq)
+	a.cfg.Obs.ObserveSince(fleetobs.StageCapture, start, fleetobs.Event{
+		Host: a.cfg.Host, TraceID: q.traceID, BatchSeq: q.seq, Shard: -1,
+	})
+	return q
 }
 
 // enqueue appends q to the capture queue, dropping the oldest entry when
@@ -286,10 +314,12 @@ func (a *Agent) clearBase() {
 // vanishes), a full batch otherwise.
 func (a *Agent) makeWire(q *queued) *Batch {
 	b := &Batch{
-		Host:         a.cfg.Host,
-		Seq:          q.seq,
-		SentUnixNano: q.sentUnixNano,
-		Snapshots:    q.full,
+		Host:            a.cfg.Host,
+		Seq:             q.seq,
+		SentUnixNano:    q.sentUnixNano,
+		Snapshots:       q.full,
+		TraceID:         q.traceID,
+		CaptureUnixNano: q.sentUnixNano,
 	}
 	if a.cfg.DisableDeltas {
 		return b
@@ -298,7 +328,11 @@ func (a *Agent) makeWire(q *queued) *Batch {
 	if base == nil || q.seq <= base.seq {
 		return b
 	}
+	start := time.Now()
 	deltas, ok := subAgainst(q.full, base.full)
+	a.cfg.Obs.ObserveSince(fleetobs.StageDeltaRender, start, fleetobs.Event{
+		Host: a.cfg.Host, TraceID: q.traceID, BatchSeq: q.seq, Shard: -1,
+	})
 	if !ok {
 		return b
 	}
@@ -379,6 +413,12 @@ func (a *Agent) flush(now time.Time) error {
 		err := a.push(wire)
 		switch {
 		case err == nil:
+			// Queue dwell: capture to acknowledged delivery, retries and
+			// backoff included — the agent-side end-to-end latency.
+			a.cfg.Obs.Observe(fleetobs.StageQueueDwell,
+				time.Since(time.Unix(0, q.sentUnixNano)), fleetobs.Event{
+					Host: a.cfg.Host, TraceID: q.traceID, BatchSeq: q.seq, Shard: -1,
+				})
 			a.advanceBase(q)
 			a.dequeueThrough(q.seq)
 			a.bmu.Lock()
@@ -431,7 +471,11 @@ func (a *Agent) dequeueThrough(through uint64) {
 
 // push sends one batch with the per-request timeout.
 func (a *Agent) push(b *Batch) error {
+	encStart := time.Now()
 	body, err := EncodeBatchBytes(b)
+	a.cfg.Obs.ObserveSince(fleetobs.StageEncode, encStart, fleetobs.Event{
+		Host: a.cfg.Host, TraceID: b.TraceID, BatchSeq: b.Seq, Shard: -1,
+	})
 	if err != nil {
 		return err
 	}
@@ -442,12 +486,19 @@ func (a *Agent) push(b *Batch) error {
 	req.Header.Set("Content-Type", ContentType)
 	ctx, cancel := contextWithTimeout(a.cfg.Timeout)
 	defer cancel()
+	pushStart := time.Now()
 	resp, err := a.cfg.Client.Do(req.WithContext(ctx))
 	if err != nil {
+		a.cfg.Obs.ObserveSince(fleetobs.StagePush, pushStart, fleetobs.Event{
+			Host: a.cfg.Host, TraceID: b.TraceID, BatchSeq: b.Seq, Shard: -1, Detail: "transport error",
+		})
 		return err
 	}
 	defer resp.Body.Close()
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	a.cfg.Obs.ObserveSince(fleetobs.StagePush, pushStart, fleetobs.Event{
+		Host: a.cfg.Host, TraceID: b.TraceID, BatchSeq: b.Seq, Shard: -1, Detail: resp.Status,
+	})
 	if resp.StatusCode != http.StatusOK {
 		// Any 4xx on a delta means this frame can never be applied as-is;
 		// re-sending full state is the only road forward. 5xx and
@@ -478,6 +529,7 @@ func (a *Agent) PullHandler() http.Handler {
 		q := a.buildBatch()
 		EncodeBatch(w, &Batch{
 			Host: a.cfg.Host, Seq: q.seq, SentUnixNano: q.sentUnixNano, Snapshots: q.full,
+			TraceID: q.traceID, CaptureUnixNano: q.sentUnixNano,
 		})
 	})
 }

@@ -1,18 +1,22 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"runtime/pprof"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"vscsistats/internal/core"
+	"vscsistats/internal/fleetobs"
 	"vscsistats/internal/telemetry"
 )
 
@@ -80,6 +84,15 @@ type AggregatorConfig struct {
 	// full frames once its sealed-segment count reaches this (default 8;
 	// negative disables compaction).
 	CompactSegments int
+
+	// Obs, when set, receives per-stage latency samples (decode, lock
+	// wait, shard ingest, merge recompute, log append, fsync, compaction,
+	// replay, history) and structural pipeline events (pushes, resyncs
+	// with cause, rotations, retention drops, compaction begin/commit,
+	// torn-tail truncations, the replay summary). Hot ingest-path timing
+	// is sampled 1-in-N per the tracker's config; events are not. Nil
+	// disables aggregator-side observability.
+	Obs *fleetobs.Tracker
 }
 
 func (c *AggregatorConfig) withDefaults() AggregatorConfig {
@@ -145,6 +158,10 @@ type Aggregator struct {
 	rejected   atomic.Int64
 	pullErrors atomic.Int64
 	recvBytes  atomic.Int64
+	// layoutMismatch counts delta batches refused because their histogram
+	// layout failed validation — the one resync cause detected at the
+	// aggregator (Validate) rather than in the shard.
+	layoutMismatch atomic.Int64
 }
 
 // NewAggregator builds an empty aggregator.
@@ -156,7 +173,7 @@ func NewAggregator(cfg AggregatorConfig) *Aggregator {
 	}
 	g.shards = make([]*shard, g.cfg.Shards)
 	for i := range g.shards {
-		g.shards[i] = newShard(i)
+		g.shards[i] = newShard(i, g.cfg.Obs)
 	}
 	g.iomu = make([]sync.Mutex, g.cfg.Shards)
 	return g
@@ -200,29 +217,35 @@ func OpenAggregator(cfg AggregatorConfig) (*Aggregator, ReplayStats, error) {
 		syncInterval:    g.cfg.SyncInterval,
 		retention:       g.cfg.Retention,
 		compactSegments: g.cfg.CompactSegments,
+		obs:             g.cfg.Obs,
 	}, g.cfg.Shards)
 	if err != nil {
 		return nil, ReplayStats{}, err
 	}
 	start := time.Now()
 	var st ReplayStats
-	lst, err := l.replay(func(dirIdx int, b *Batch) error {
-		st.Frames++
-		if verr := b.Validate(); verr != nil {
-			// The frame decoded but its histogram layout is not ours —
-			// a log written by a different binary generation. Skip it:
-			// the data is unusable here, not evidence of corruption.
-			st.Skipped++
-			return nil
-		}
-		if _, ierr := g.shardOf(b.Host).ingest(b, "log", time.Unix(0, b.SentUnixNano)); ierr != nil {
-			if errors.Is(ierr, ErrResyncRequired) {
+	var lst replayStats
+	// Label the replay for pprof so boot-recovery CPU attributes to the
+	// pipeline stage, not to an anonymous OpenAggregator frame.
+	pprof.Do(context.Background(), pprof.Labels("stage", "replay"), func(context.Context) {
+		lst, err = l.replay(func(dirIdx int, b *Batch) error {
+			st.Frames++
+			if verr := b.Validate(); verr != nil {
+				// The frame decoded but its histogram layout is not ours —
+				// a log written by a different binary generation. Skip it:
+				// the data is unusable here, not evidence of corruption.
 				st.Skipped++
 				return nil
 			}
-			return ierr
-		}
-		return nil
+			if _, ierr := g.shardOf(b.Host).ingest(b, "log", time.Unix(0, b.SentUnixNano)); ierr != nil {
+				if errors.Is(ierr, ErrResyncRequired) {
+					st.Skipped++
+					return nil
+				}
+				return ierr
+			}
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, ReplayStats{}, err
@@ -241,6 +264,13 @@ func OpenAggregator(cfg AggregatorConfig) (*Aggregator, ReplayStats, error) {
 	}
 	st.Hosts = len(g.Hosts())
 	st.Duration = time.Since(start)
+	g.cfg.Obs.Observe(fleetobs.StageReplay, st.Duration, fleetobs.Event{Shard: -1})
+	g.cfg.Obs.Emit(fleetobs.Event{
+		Kind: fleetobs.KindReplay, Scope: "aggregator", Shard: -1,
+		DurationNanos: int64(st.Duration),
+		Detail: fmt.Sprintf("frames=%d skipped=%d torn_tails=%d hosts=%d",
+			st.Frames, st.Skipped, st.TornTails, st.Hosts),
+	})
 	return g, st, nil
 }
 
@@ -271,32 +301,112 @@ func (g *Aggregator) shardOf(host string) *shard {
 // memory, and an aggregator that keeps serving beats one that refuses the
 // fleet because its disk filled.
 func (g *Aggregator) Ingest(b *Batch, source string) error {
+	// Deterministic per-host sampling (1 in SampleEvery of each host's
+	// sequence numbers): stateless, so the tracker costs the memory-path
+	// ingest no atomic on unsampled batches.
+	return g.ingest(b, source, g.cfg.Obs.SampleAt(b.Seq))
+}
+
+// ingest is Ingest with the hot-path sampling decision hoisted out:
+// servePush makes one Sample() call covering decode and ingest, so a
+// sampled push times every stage of its trip and an unsampled one pays
+// nothing beyond the decision itself.
+func (g *Aggregator) ingest(b *Batch, source string, sampled bool) error {
 	if err := b.Validate(); err != nil {
+		if b.Delta {
+			// A delta whose histograms fail validation is version skew
+			// between sender and receiver, not a malformed request: asking
+			// for a full-state resync gives the sender a road forward
+			// (and the full push's validation failure, if any, stays 400).
+			g.layoutMismatch.Add(1)
+			rerr := resyncErr(ResyncLayoutMismatch, "%v", err)
+			g.noteResyncEvent(b, rerr)
+			return rerr
+		}
 		g.rejected.Add(1)
 		return err
 	}
 	idx := g.ShardFor(b.Host)
 	if g.log == nil {
+		var ingestStart time.Time
+		if sampled {
+			ingestStart = time.Now()
+		}
 		_, err := g.shards[idx].ingest(b, source, g.now())
+		if sampled {
+			g.observeStage(fleetobs.StageIngest, time.Since(ingestStart), b, idx)
+		}
+		g.noteResyncEvent(b, err)
 		return err
 	}
+	var lockStart time.Time
+	if sampled {
+		lockStart = time.Now()
+	}
 	g.iomu[idx].Lock()
+	if sampled {
+		g.observeStage(fleetobs.StageLockWait, time.Since(lockStart), b, idx)
+	}
+	var ingestStart time.Time
+	if sampled {
+		ingestStart = time.Now()
+	}
 	applied, err := g.shards[idx].ingest(b, source, g.now())
+	if sampled {
+		g.observeStage(fleetobs.StageIngest, time.Since(ingestStart), b, idx)
+	}
 	var rotated bool
 	if err == nil && applied {
 		if data, eerr := EncodeBatchBytes(b); eerr != nil {
 			g.log.appendErrs.Add(1)
-		} else if rotated, eerr = g.log.append(idx, data, b.SentUnixNano, g.now()); eerr != nil {
-			rotated = false
+		} else {
+			var appendStart time.Time
+			if sampled {
+				appendStart = time.Now()
+			}
+			if rotated, eerr = g.log.append(idx, data, b.SentUnixNano, g.now()); eerr != nil {
+				rotated = false
+			}
+			if sampled {
+				g.observeStage(fleetobs.StageLogAppend, time.Since(appendStart), b, idx)
+			}
 		}
 	}
 	g.iomu[idx].Unlock()
 	if rotated && g.log.needsCompaction(idx) {
 		// Best-effort: a failed compaction leaves the chain long but
 		// whole; the next rotation retries.
-		g.log.compact(idx, g.shards[idx].fullBatches, g.now())
+		pprof.Do(context.Background(),
+			pprof.Labels("stage", "compaction", "shard", strconv.Itoa(idx)),
+			func(context.Context) {
+				g.log.compact(idx, g.shards[idx].fullBatches, g.now())
+			})
 	}
+	g.noteResyncEvent(b, err)
 	return err
+}
+
+// observeStage records one sampled stage span carrying the batch's
+// trace identity.
+func (g *Aggregator) observeStage(st fleetobs.Stage, d time.Duration, b *Batch, shard int) {
+	g.cfg.Obs.Observe(st, d, fleetobs.Event{
+		Host: b.Host, TraceID: b.TraceID, BatchSeq: b.Seq, Shard: shard,
+	})
+}
+
+// noteResyncEvent emits a KindResync event with its typed cause when
+// err is a resync refusal (no-op otherwise). Resyncs are structural —
+// a storm of them is the thing this layer exists to explain — so they
+// are never sampled.
+func (g *Aggregator) noteResyncEvent(b *Batch, err error) {
+	if err == nil || !errors.Is(err, ErrResyncRequired) {
+		return
+	}
+	g.cfg.Obs.Emit(fleetobs.Event{
+		Kind: fleetobs.KindResync, Scope: "aggregator",
+		Host: b.Host, TraceID: b.TraceID, BatchSeq: b.Seq,
+		Shard: g.ShardFor(b.Host), Cause: string(resyncCauseOf(err)),
+	})
 }
 
 // Close syncs and closes the segment log's open files; a no-op for a
@@ -552,6 +662,14 @@ type AggregatorStats struct {
 	DeltasApplied int64
 	Duplicates    int64
 	Resyncs       int64
+	// Per-cause resync splits. The first three are detected in the
+	// shards and sum (with replay-time refusals included) into shard
+	// Resyncs; LayoutMismatch is detected at aggregator validation and
+	// adds on top, so Resyncs here is the true total across all causes.
+	ResyncSeqGap         int64
+	ResyncUnknownHost    int64
+	ResyncUnknownDisk    int64
+	ResyncLayoutMismatch int64
 	// MergeCacheHits and MergeCacheMisses count shard-level merge
 	// memoization outcomes across all shards.
 	MergeCacheHits   int64
@@ -580,7 +698,12 @@ func (g *Aggregator) Stats() AggregatorStats {
 		st.Resyncs += sh.resyncs.Load()
 		st.MergeCacheHits += sh.cacheHits.Load()
 		st.MergeCacheMisses += sh.cacheMisses.Load()
+		st.ResyncSeqGap += sh.resyncCause[causeIndex(ResyncSeqGap)].Load()
+		st.ResyncUnknownHost += sh.resyncCause[causeIndex(ResyncUnknownHost)].Load()
+		st.ResyncUnknownDisk += sh.resyncCause[causeIndex(ResyncUnknownDisk)].Load()
 	}
+	st.ResyncLayoutMismatch = g.layoutMismatch.Load()
+	st.Resyncs += st.ResyncLayoutMismatch
 	return st
 }
 
@@ -699,9 +822,15 @@ func (g *Aggregator) LogStats() LogStats {
 //	                      the window, ?vm=NAME narrows to one VM,
 //	                      ?view=vms returns every per-VM merge
 //	GET  /fleet/log       segment-log size and maintenance counters
+//	GET  /fleet/events    the pipeline event ring as JSON (requires
+//	                      AggregatorConfig.Obs); ?kind= and ?host=
+//	                      filter, ?limit= bounds
+//	GET  /fleet/slow      the slowest retained pipeline operations;
+//	                      ?threshold=10ms filters, ?limit= bounds
 //	POST /fleet/push      one wire frame from an agent (full or delta;
-//	                      an unappliable delta is a 409 asking the agent
-//	                      to resync with full state)
+//	                      an unappliable delta is a 409 whose body names
+//	                      the resync_cause, asking the agent to resync
+//	                      with full state)
 func (g *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	path := strings.Trim(r.URL.Path, "/")
 	path = strings.TrimPrefix(path, "fleet/")
@@ -742,6 +871,18 @@ func (g *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		writeFleetJSON(w, g.LogStats())
+	case "events":
+		if g.cfg.Obs == nil {
+			fleetError(w, http.StatusNotFound, "observability disabled (AggregatorConfig.Obs unset)")
+			return
+		}
+		g.cfg.Obs.ServeEvents(w, r)
+	case "slow":
+		if g.cfg.Obs == nil {
+			fleetError(w, http.StatusNotFound, "observability disabled (AggregatorConfig.Obs unset)")
+			return
+		}
+		g.cfg.Obs.ServeSlow(w, r)
 	case "push":
 		if r.Method != http.MethodPost {
 			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodPost)
@@ -778,25 +919,64 @@ func (g *Aggregator) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 }
 
 func (g *Aggregator) servePush(w http.ResponseWriter, r *http.Request) {
+	// One sampling decision covers the whole push — a sampled push times
+	// its decode, lock wait, ingest and log append; an unsampled one
+	// pays one atomic add total.
+	sampled := g.cfg.Obs.Sample()
+	pushStart := time.Now()
 	// One frame cannot legitimately exceed its declared limits; bound the
 	// body read accordingly so a hostile sender cannot stream forever.
 	body := http.MaxBytesReader(w, r.Body, 16+maxHeaderLen+maxPayloadLen)
+	var decodeStart time.Time
+	if sampled {
+		decodeStart = time.Now()
+	}
 	b, err := DecodeBatch(body)
+	if sampled && err == nil {
+		g.observeStage(fleetobs.StageDecode, time.Since(decodeStart), b, g.ShardFor(b.Host))
+	}
 	if err != nil {
 		g.rejected.Add(1)
 		fleetError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if err := g.Ingest(b, "push"); err != nil {
-		if errors.Is(err, ErrResyncRequired) {
-			fleetError(w, http.StatusConflict, err.Error())
+	// Attribute ingest CPU to the pipeline: pprof samples taken inside
+	// carry stage/host/shard labels via Options.Pprof for free.
+	var ierr error
+	pprof.Do(r.Context(),
+		pprof.Labels("stage", "ingest", "host", b.Host, "shard", strconv.Itoa(g.ShardFor(b.Host))),
+		func(context.Context) {
+			ierr = g.ingest(b, "push", sampled)
+		})
+	if ierr != nil {
+		if errors.Is(ierr, ErrResyncRequired) {
+			fleetResyncError(w, ierr)
 			return
 		}
-		fleetError(w, http.StatusBadRequest, err.Error())
+		fleetError(w, http.StatusBadRequest, ierr.Error())
 		return
 	}
 	g.recvBytes.Add(r.ContentLength)
+	if sampled {
+		g.cfg.Obs.Emit(fleetobs.Event{
+			Kind: fleetobs.KindPush, Scope: "aggregator",
+			Host: b.Host, TraceID: b.TraceID, BatchSeq: b.Seq,
+			Shard: g.ShardFor(b.Host), DurationNanos: int64(time.Since(pushStart)),
+			Detail: fmt.Sprintf("delta=%t snapshots=%d", b.Delta, len(b.Snapshots)),
+		})
+	}
 	writeFleetJSON(w, map[string]any{"host": b.Host, "seq": b.Seq, "snapshots": len(b.Snapshots)})
+}
+
+// fleetResyncError writes the 409 resync response; the body carries the
+// machine-readable cause alongside the human-readable error.
+func fleetResyncError(w http.ResponseWriter, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusConflict)
+	json.NewEncoder(w).Encode(map[string]string{
+		"error":        err.Error(),
+		"resync_cause": string(resyncCauseOf(err)),
+	})
 }
 
 // fleetError mirrors httpstats's JSON error contract.

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 	"vscsistats/internal/core"
+	"vscsistats/internal/fleetobs"
 )
 
 // BenchmarkFleetMerge measures the cluster merge over a populated
@@ -122,6 +123,29 @@ func BenchmarkFleetIngestScrapeSharded1024(b *testing.B) {
 // regresses past the committed baseline.
 func BenchmarkFleetIngest1024(b *testing.B) {
 	agg := NewAggregator(AggregatorConfig{StaleAfter: time.Hour})
+	hosts := fleetHostNames(1024)
+	rotations := benchPopulate(b, agg, hosts)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := i % len(hosts)
+		if err := agg.Ingest(&Batch{
+			Host: hosts[h], Seq: uint64(2 + i/len(hosts)), Snapshots: rotations[(h+i)%len(rotations)],
+		}, "push"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetIngest1024Traced is the same ingest loop with the
+// pipeline tracker attached at its default 1-in-64 sampling — the cost of
+// observability on the hot path. benchfastpath -check -fleet fails the
+// build if this runs more than 5% over the untraced fence measured in
+// the same session.
+func BenchmarkFleetIngest1024Traced(b *testing.B) {
+	agg := NewAggregator(AggregatorConfig{
+		StaleAfter: time.Hour,
+		Obs:        fleetobs.New(fleetobs.Config{}),
+	})
 	hosts := fleetHostNames(1024)
 	rotations := benchPopulate(b, agg, hosts)
 	b.ResetTimer()

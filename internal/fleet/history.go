@@ -1,13 +1,16 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"time"
 
 	"vscsistats/internal/core"
+	"vscsistats/internal/fleetobs"
 )
 
 // History answers "what did the fleet's I/O look like between from and to"
@@ -39,6 +42,17 @@ func (g *Aggregator) History(from, to time.Time) (*HistoryResult, error) {
 	if g.log == nil {
 		return nil, errors.New("fleet: history requires a segment log (no data dir configured)")
 	}
+	var res *HistoryResult
+	var err error
+	pprof.Do(context.Background(), pprof.Labels("stage", "history"), func(context.Context) {
+		start := time.Now()
+		res, err = g.history(from, to)
+		g.cfg.Obs.ObserveSince(fleetobs.StageHistory, start, fleetobs.Event{Shard: -1})
+	})
+	return res, err
+}
+
+func (g *Aggregator) history(from, to time.Time) (*HistoryResult, error) {
 	fromNs, toNs := from.UnixNano(), to.UnixNano()
 	hosts := make(map[string]*historyHost)
 	var frames int64

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"vscsistats/internal/fleetobs"
 )
 
 // The segment log is the aggregator's durability layer: every accepted wire
@@ -70,6 +72,9 @@ type logConfig struct {
 	syncInterval    time.Duration
 	retention       time.Duration
 	compactSegments int
+	// obs receives fsync/compaction latency samples and structural events
+	// (rotation, retention, compaction, torn tail); nil disables both.
+	obs *fleetobs.Tracker
 }
 
 // segmentInfo describes one segment file.
@@ -294,6 +299,10 @@ func (l *segmentLog) replaySegment(sh *logShard, seg *segmentInfo, last bool, st
 			}
 			st.tornTails++
 			l.tornTails.Add(1)
+			l.cfg.obs.Emit(fleetobs.Event{
+				Kind: fleetobs.KindTornTail, Scope: "aggregator", Shard: sh.dirIdx,
+				Detail: fmt.Sprintf("%s truncated %d -> %d bytes", filepath.Base(seg.path), cr.n, good),
+			})
 			break
 		}
 		if err != nil {
@@ -346,11 +355,15 @@ func (l *segmentLog) append(idx int, data []byte, sentUnixNano int64, now time.T
 	l.appends.Add(1)
 	l.appendBytes.Add(int64(len(data)))
 	if l.cfg.syncInterval < 0 || now.Sub(sh.lastSync) >= l.cfg.syncInterval {
+		// Fsyncs are already batched (at most one per syncInterval per
+		// shard), so every one is observed — no sampling needed.
+		start := time.Now()
 		if err := sh.f.Sync(); err != nil {
 			l.appendErrs.Add(1)
 			return false, err
 		}
 		l.fsyncs.Add(1)
+		l.cfg.obs.ObserveSince(fleetobs.StageFsync, start, fleetobs.Event{Shard: idx})
 		sh.lastSync = now
 	}
 	if sh.active.bytes >= l.cfg.segmentBytes {
@@ -368,19 +381,26 @@ func (l *segmentLog) append(idx int, data []byte, sentUnixNano int64, now time.T
 // one. Caller holds sh.mu.
 func (l *segmentLog) rotateLocked(sh *logShard) error {
 	if sh.f != nil {
+		start := time.Now()
 		if err := sh.f.Sync(); err != nil {
 			return err
 		}
 		l.fsyncs.Add(1)
+		l.cfg.obs.ObserveSince(fleetobs.StageFsync, start, fleetobs.Event{Shard: sh.dirIdx})
 		if err := sh.f.Close(); err != nil {
 			return err
 		}
 		sh.f = nil
 	}
-	sh.sealed = append(sh.sealed, sh.active)
-	next := sh.active.num + 1
+	sealed := sh.active
+	sh.sealed = append(sh.sealed, sealed)
+	next := sealed.num + 1
 	sh.active = segmentInfo{num: next, path: segPath(sh.dir, next)}
 	l.rotations.Add(1)
+	l.cfg.obs.Emit(fleetobs.Event{
+		Kind: fleetobs.KindRotation, Scope: "aggregator", Shard: sh.dirIdx,
+		Detail: fmt.Sprintf("sealed %016d (%d frames, %d bytes)", sealed.num, sealed.frames, sealed.bytes),
+	})
 	return nil
 }
 
@@ -394,15 +414,24 @@ func (l *segmentLog) sweepLocked(sh *logShard, now time.Time) {
 	}
 	cutoff := now.Add(-l.cfg.retention).UnixNano()
 	kept := sh.sealed[:0]
+	var removed, removedFrames int64
 	for _, seg := range sh.sealed {
 		if seg.newest < cutoff {
 			os.Remove(seg.path)
 			l.retired.Add(1)
+			removed++
+			removedFrames += seg.frames
 			continue
 		}
 		kept = append(kept, seg)
 	}
 	sh.sealed = kept
+	if removed > 0 {
+		l.cfg.obs.Emit(fleetobs.Event{
+			Kind: fleetobs.KindRetention, Scope: "aggregator", Shard: sh.dirIdx,
+			Detail: fmt.Sprintf("removed %d segments (%d frames) past retention", removed, removedFrames),
+		})
+	}
 }
 
 // needsCompaction reports whether the shard's sealed chain has grown past
@@ -440,6 +469,7 @@ func (l *segmentLog) compact(idx int, gather func() []*Batch, now time.Time) err
 }
 
 func (l *segmentLog) compactLocked(sh *logShard, gather func() []*Batch, now time.Time) error {
+	begin := time.Now()
 	batches := gather()
 	// Seal the active segment so the whole chain is replaceable.
 	if sh.active.frames > 0 || sh.f != nil {
@@ -450,6 +480,10 @@ func (l *segmentLog) compactLocked(sh *logShard, gather func() []*Batch, now tim
 	if len(sh.sealed) == 0 && len(batches) == 0 {
 		return nil
 	}
+	l.cfg.obs.Emit(fleetobs.Event{
+		Kind: fleetobs.KindCompactionBegin, Scope: "aggregator", Shard: sh.dirIdx,
+		Detail: fmt.Sprintf("%d sealed segments -> %d host fulls", len(sh.sealed), len(batches)),
+	})
 	target := sh.active.num - 1 // the newest sealed number, or 0 if none
 	if len(sh.sealed) == 0 {
 		// Nothing sealed but state to persist (boot-time rewrite into a
@@ -485,12 +519,14 @@ func (l *segmentLog) compactLocked(sh *logShard, gather func() []*Batch, now tim
 		os.Remove(tmpPath)
 		return err
 	}
+	syncStart := time.Now()
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		os.Remove(tmpPath)
 		return err
 	}
 	l.fsyncs.Add(1)
+	l.cfg.obs.ObserveSince(fleetobs.StageFsync, syncStart, fleetobs.Event{Shard: sh.dirIdx})
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmpPath)
 		return err
@@ -509,6 +545,12 @@ func (l *segmentLog) compactLocked(sh *logShard, gather func() []*Batch, now tim
 	}
 	sh.sealed = []segmentInfo{info}
 	l.compactions.Add(1)
+	d := l.cfg.obs.ObserveSince(fleetobs.StageCompaction, begin, fleetobs.Event{Shard: sh.dirIdx})
+	l.cfg.obs.Emit(fleetobs.Event{
+		Kind: fleetobs.KindCompactionCommit, Scope: "aggregator", Shard: sh.dirIdx,
+		DurationNanos: int64(d),
+		Detail:        fmt.Sprintf("segment %016d: %d frames, %d bytes", info.num, info.frames, info.bytes),
+	})
 	return nil
 }
 
@@ -585,10 +627,12 @@ func (l *segmentLog) close() error {
 	for _, sh := range l.shards {
 		sh.mu.Lock()
 		if sh.f != nil {
+			start := time.Now()
 			if err := sh.f.Sync(); err != nil && first == nil {
 				first = err
 			} else if err == nil {
 				l.fsyncs.Add(1)
+				l.cfg.obs.ObserveSince(fleetobs.StageFsync, start, fleetobs.Event{Shard: sh.dirIdx})
 			}
 			if err := sh.f.Close(); err != nil && first == nil {
 				first = err

@@ -1,0 +1,78 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ResyncCause classifies why an aggregator refused a delta batch and
+// demanded a full-state resync. The cause rides the 409 response body
+// (resync_cause) and is counted per cause in AggregatorStats, so a
+// resync storm is attributable: an aggregator restart shows up as
+// unknown-host, a lossy agent queue as seq-gap, a disk-set change the
+// delta path missed as unknown-disk, and bin-layout version skew as
+// layout-mismatch.
+type ResyncCause string
+
+const (
+	// ResyncSeqGap: the delta's base sequence is not the sequence the
+	// aggregator holds — pushes were lost or reordered past the ack.
+	ResyncSeqGap ResyncCause = "seq-gap"
+	// ResyncUnknownHost: the aggregator has no state for the host at all
+	// (typically it restarted without a durable log).
+	ResyncUnknownHost ResyncCause = "unknown-host"
+	// ResyncUnknownDisk: the delta names a disk the stored base state
+	// does not hold — the sender built against state we lost.
+	ResyncUnknownDisk ResyncCause = "unknown-disk"
+	// ResyncLayoutMismatch: the delta's histograms do not carry the
+	// canonical bin layout — version skew between sender and receiver.
+	ResyncLayoutMismatch ResyncCause = "layout-mismatch"
+)
+
+// resyncCauses fixes the counter order; index with causeIndex.
+var resyncCauses = [...]ResyncCause{
+	ResyncSeqGap, ResyncUnknownHost, ResyncUnknownDisk, ResyncLayoutMismatch,
+}
+
+const numResyncCauses = len(resyncCauses)
+
+func causeIndex(c ResyncCause) int {
+	for i, rc := range resyncCauses {
+		if rc == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// ResyncError is the typed form of ErrResyncRequired: errors.Is(err,
+// ErrResyncRequired) still matches (so every pre-existing caller keeps
+// working), and errors.As(err, *ResyncError) exposes the cause.
+type ResyncError struct {
+	Cause ResyncCause
+	msg   string
+}
+
+func (e *ResyncError) Error() string { return e.msg }
+
+// Unwrap makes every ResyncError an ErrResyncRequired.
+func (e *ResyncError) Unwrap() error { return ErrResyncRequired }
+
+// resyncErr builds a ResyncError whose message starts with the
+// ErrResyncRequired text, preserving the historical error strings.
+func resyncErr(cause ResyncCause, format string, args ...any) error {
+	return &ResyncError{
+		Cause: cause,
+		msg:   fmt.Sprintf("%s: %s", ErrResyncRequired.Error(), fmt.Sprintf(format, args...)),
+	}
+}
+
+// resyncCauseOf extracts the cause from any error chain containing a
+// ResyncError ("" otherwise).
+func resyncCauseOf(err error) ResyncCause {
+	var re *ResyncError
+	if errors.As(err, &re) {
+		return re.Cause
+	}
+	return ""
+}

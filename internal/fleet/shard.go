@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vscsistats/internal/core"
+	"vscsistats/internal/fleetobs"
 )
 
 // shard is one independent slice of the aggregator's host space. Hosts
@@ -35,6 +36,14 @@ type shard struct {
 	resyncs       atomic.Int64
 	cacheHits     atomic.Int64
 	cacheMisses   atomic.Int64
+	// resyncCause splits resyncs by ResyncCause (indexed by causeIndex);
+	// layout-mismatch is counted at the aggregator, which is where
+	// Validate runs.
+	resyncCause [numResyncCauses]atomic.Int64
+
+	// obs receives merge-recompute latency samples; nil when the owning
+	// aggregator has no tracker.
+	obs *fleetobs.Tracker
 
 	// cacheMu guards cache and single-flights recomputation: concurrent
 	// scrapes of an unchanged shard wait for one merge instead of all
@@ -55,8 +64,16 @@ type shardCache struct {
 	vms     []*core.Snapshot
 }
 
-func newShard(index int) *shard {
-	return &shard{index: index, hosts: make(map[string]*hostState)}
+func newShard(index int, obs *fleetobs.Tracker) *shard {
+	return &shard{index: index, hosts: make(map[string]*hostState), obs: obs}
+}
+
+// noteResync counts one refused delta, total and per cause.
+func (s *shard) noteResync(cause ResyncCause) {
+	s.resyncs.Add(1)
+	if i := causeIndex(cause); i >= 0 {
+		s.resyncCause[i].Add(1)
+	}
 }
 
 // diskKey identifies one virtual disk within a host's batch.
@@ -77,8 +94,8 @@ func (s *shard) ingest(b *Batch, source string, now time.Time) (applied bool, er
 	st := s.hosts[b.Host]
 	if b.Delta {
 		if st == nil {
-			s.resyncs.Add(1)
-			return false, fmt.Errorf("%w: no state for host %q (aggregator restarted?)", ErrResyncRequired, b.Host)
+			s.noteResync(ResyncUnknownHost)
+			return false, resyncErr(ResyncUnknownHost, "no state for host %q (aggregator restarted?)", b.Host)
 		}
 		st.lastSeen, st.source = now, source
 		if b.Seq <= st.seq {
@@ -88,13 +105,13 @@ func (s *shard) ingest(b *Batch, source string, now time.Time) (applied bool, er
 			return false, nil
 		}
 		if b.BaseSeq != st.seq {
-			s.resyncs.Add(1)
-			return false, fmt.Errorf("%w: delta base seq %d, host %q is at %d", ErrResyncRequired, b.BaseSeq, b.Host, st.seq)
+			s.noteResync(ResyncSeqGap)
+			return false, resyncErr(ResyncSeqGap, "delta base seq %d, host %q is at %d", b.BaseSeq, b.Host, st.seq)
 		}
 		snaps, err := applyDeltaSnaps(st.snaps, b.Snapshots)
 		if err != nil {
-			s.resyncs.Add(1)
-			return false, fmt.Errorf("%w: %v", ErrResyncRequired, err)
+			s.noteResync(ResyncUnknownDisk)
+			return false, resyncErr(ResyncUnknownDisk, "%v", err)
 		}
 		st.snaps = snaps
 		st.seq = b.Seq
@@ -227,7 +244,10 @@ func (s *shard) merged(now time.Time, staleAfter time.Duration, includeStale, us
 	s.mu.RUnlock()
 
 	if includeStale || !useCache {
-		return mergeSnaps(snaps)
+		start := time.Now()
+		cluster, vms := mergeSnaps(snaps)
+		s.obs.ObserveSince(fleetobs.StageMergeRecompute, start, fleetobs.Event{Shard: s.index})
+		return cluster, vms
 	}
 	s.cacheMu.Lock()
 	defer s.cacheMu.Unlock()
@@ -236,7 +256,9 @@ func (s *shard) merged(now time.Time, staleAfter time.Duration, includeStale, us
 		return s.cache.cluster, s.cache.vms
 	}
 	s.cacheMisses.Add(1)
+	start := time.Now()
 	cluster, vms := mergeSnaps(snaps)
+	s.obs.ObserveSince(fleetobs.StageMergeRecompute, start, fleetobs.Event{Shard: s.index})
 	// A slow reader that observed an older version must not clobber a
 	// fresher entry; version is monotone under mu.
 	if !s.cache.valid || version >= s.cache.version {

@@ -1,0 +1,398 @@
+package fleet
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/fleetobs"
+)
+
+// TestTraceIDFollowsPipeline is the end-to-end observability proof: one
+// push's trace ID, stamped at agent capture, is followed through wire
+// decode, shard apply and segment-log append — and every stage on the
+// way emitted both a ring event and a histogram sample.
+func TestTraceIDFollowsPipeline(t *testing.T) {
+	aggObs := fleetobs.New(fleetobs.Config{SampleEvery: 1})
+	dir := t.TempDir()
+	agg, _, err := OpenAggregator(AggregatorConfig{
+		StaleAfter: time.Hour, DataDir: dir, SyncInterval: -1, Obs: aggObs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	agentObs := fleetobs.New(fleetobs.Config{SampleEvery: 1})
+	reg := makeRegistry(3, 1, 2, 120)
+	a := NewAgent(reg, AgentConfig{
+		Host: "esx-trace", Endpoint: srv.URL + "/fleet/push", Obs: agentObs,
+	})
+	if err := a.PushNow(); err != nil {
+		t.Fatalf("full push: %v", err)
+	}
+	feed(reg.List()[0], 5, 60)
+	if err := a.PushNow(); err != nil {
+		t.Fatalf("delta push: %v", err)
+	}
+	if st := a.Stats(); st.DeltaPushes != 1 {
+		t.Fatalf("second push was not a delta: %+v", st)
+	}
+	if err := agg.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The second capture's trace ID, read off its capture event.
+	var traceID string
+	for _, e := range agentObs.Events(0) {
+		if e.Stage == "capture" && e.BatchSeq == 2 {
+			traceID = e.TraceID
+		}
+	}
+	if traceID == "" {
+		t.Fatal("no capture event for batch 2 on the agent")
+	}
+	if !strings.HasPrefix(traceID, "esx-trace-") {
+		t.Fatalf("trace ID %q does not carry the host name", traceID)
+	}
+
+	// Every stage the push crossed must have emitted an event carrying
+	// the trace ID AND a histogram sample.
+	checkStages := func(tr *fleetobs.Tracker, side string, stages map[string]fleetobs.Stage) {
+		t.Helper()
+		byStage := map[string]bool{}
+		for _, e := range tr.Events(0) {
+			if e.TraceID == traceID && e.Kind == fleetobs.KindStage {
+				byStage[e.Stage] = true
+			}
+		}
+		for name, st := range stages {
+			if !byStage[name] {
+				t.Errorf("%s: no %s event for trace %s (events: %+v)", side, name, traceID, byStage)
+			}
+			if got := tr.Hist(st).Total(); got < 1 {
+				t.Errorf("%s: %s histogram empty", side, name)
+			}
+		}
+	}
+	checkStages(agentObs, "agent", map[string]fleetobs.Stage{
+		"capture":      fleetobs.StageCapture,
+		"delta_render": fleetobs.StageDeltaRender,
+		"encode":       fleetobs.StageEncode,
+		"push":         fleetobs.StagePush,
+		"queue_dwell":  fleetobs.StageQueueDwell,
+	})
+	checkStages(aggObs, "aggregator", map[string]fleetobs.Stage{
+		"decode":     fleetobs.StageDecode,
+		"lock_wait":  fleetobs.StageLockWait,
+		"ingest":     fleetobs.StageIngest,
+		"log_append": fleetobs.StageLogAppend,
+	})
+	// The batched fsync (every append under SyncInterval -1) has no
+	// per-batch trace, but must have been timed.
+	if got := aggObs.Hist(fleetobs.StageFsync).Total(); got < 1 {
+		t.Error("aggregator: fsync histogram empty despite SyncInterval -1")
+	}
+	// The push as a whole surfaced as a structural event with the trace.
+	var sawPush bool
+	for _, e := range aggObs.Events(0) {
+		if e.Kind == fleetobs.KindPush && e.TraceID == traceID {
+			sawPush = true
+		}
+	}
+	if !sawPush {
+		t.Error("aggregator: no push event for the traced batch")
+	}
+
+	// Finally the durable end: the delta frame in the segment log still
+	// carries the trace ID.
+	var found bool
+	filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() || !strings.HasSuffix(path, segSuffix) {
+			return err
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for {
+			b, err := DecodeBatch(f)
+			if err != nil {
+				return nil
+			}
+			if b.TraceID == traceID && b.Delta {
+				found = true
+			}
+		}
+	})
+	if !found {
+		t.Error("segment log holds no delta frame with the trace ID")
+	}
+}
+
+// TestWireV1FrameDecodes pins backward compatibility: a version-1 frame
+// (no trace fields, version byte 1) decodes cleanly on the current
+// decoder, with the trace fields zero.
+func TestWireV1FrameDecodes(t *testing.T) {
+	reg := makeRegistry(4, 1, 1, 40)
+	data, err := EncodeBatchBytes(&Batch{Host: "old-sender", Seq: 3, Snapshots: reg.Snapshots()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A no-trace batch's JSON header is byte-identical to what a v1
+	// writer produces (omitempty drops the new fields); only the version
+	// byte differs.
+	data[4] = 1
+	b, err := DecodeBatch(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode of version-1 frame: %v", err)
+	}
+	if b.Host != "old-sender" || b.Seq != 3 {
+		t.Errorf("decoded %q/%d", b.Host, b.Seq)
+	}
+	if b.TraceID != "" || b.CaptureUnixNano != 0 {
+		t.Errorf("v1 frame grew trace fields: %q/%d", b.TraceID, b.CaptureUnixNano)
+	}
+}
+
+// TestWireOldDecoderAcceptsTracedFrame simulates a version-1 reader on a
+// version-2 frame: the v1 decode rule was "any version >= 1, known
+// flags only, unknown JSON header fields ignored" — exactly what the
+// current decoder still implements — so stripping the trace fields from
+// the header must leave a frame the same decoder accepts, and the full
+// v2 frame differs from it only in ignorable header JSON.
+func TestWireOldDecoderAcceptsTracedFrame(t *testing.T) {
+	reg := makeRegistry(5, 1, 1, 40)
+	b := &Batch{
+		Host: "new-sender", Seq: 9, Snapshots: reg.Snapshots(),
+		TraceID: "new-sender-00000001-9", CaptureUnixNano: 123456789,
+	}
+	data, err := EncodeBatchBytes(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[4] != Version || Version != 2 {
+		t.Fatalf("version byte %d, want 2", data[4])
+	}
+	got, err := DecodeBatch(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("decode of version-2 frame: %v", err)
+	}
+	if got.TraceID != b.TraceID || got.CaptureUnixNano != b.CaptureUnixNano {
+		t.Errorf("trace fields dropped: %q/%d", got.TraceID, got.CaptureUnixNano)
+	}
+	// The extension rides ONLY in the JSON header: same flags, and the
+	// header with the new fields removed is a valid v1 header.
+	if data[5] != flagGzip {
+		t.Errorf("v2 full frame flags %#x, want gzip only", data[5])
+	}
+	headerLen := binary.BigEndian.Uint32(data[8:12])
+	var hdr map[string]any
+	if err := json.Unmarshal(data[16:16+headerLen], &hdr); err != nil {
+		t.Fatal(err)
+	}
+	delete(hdr, "trace_id")
+	delete(hdr, "capture_unix_nano")
+	for k := range hdr {
+		switch k {
+		case "host", "seq", "sent_unix_nano", "count", "base_seq":
+		default:
+			t.Errorf("unexpected header field %q — a v1 reader never saw it vetted", k)
+		}
+	}
+}
+
+// TestWireUnknownFutureHeaderFieldIgnored hand-builds a frame whose
+// header carries a field no decoder knows (the version-3 scenario): it
+// must decode, not reject — the forward-compatibility rule the trace
+// fields themselves relied on.
+func TestWireUnknownFutureHeaderFieldIgnored(t *testing.T) {
+	header := []byte(`{"host":"future","seq":5,"count":0,"future_field":"xyzzy","trace_id":"future-1-5"}`)
+	var payload bytes.Buffer
+	zw := gzip.NewWriter(&payload)
+	io.WriteString(zw, "[]")
+	zw.Close()
+
+	var frame bytes.Buffer
+	head := make([]byte, 16)
+	copy(head[0:4], wireMagic[:])
+	head[4] = 3 // a future version
+	head[5] = flagGzip
+	binary.BigEndian.PutUint32(head[8:12], uint32(len(header)))
+	binary.BigEndian.PutUint32(head[12:16], uint32(payload.Len()))
+	frame.Write(head)
+	frame.Write(header)
+	frame.Write(payload.Bytes())
+
+	b, err := DecodeBatch(&frame)
+	if err != nil {
+		t.Fatalf("future-version frame with unknown header field: %v", err)
+	}
+	if b.Host != "future" || b.Seq != 5 || b.TraceID != "future-1-5" {
+		t.Errorf("decoded %q/%d/%q", b.Host, b.Seq, b.TraceID)
+	}
+}
+
+// TestResyncCauseCounters drives each refusal path and checks the
+// per-cause counters split the total exactly.
+func TestResyncCauseCounters(t *testing.T) {
+	g := NewAggregator(AggregatorConfig{StaleAfter: time.Hour})
+	reg := makeRegistry(6, 1, 1, 80)
+	base := reg.Snapshots()
+	feed(reg.List()[0], 7, 40)
+	cur := reg.Snapshots()
+
+	// unknown-host: a delta before any full.
+	if err := g.Ingest(deltaBatch(t, "esx-x", 2, 1, base, cur), "push"); err == nil {
+		t.Fatal("delta for unknown host applied")
+	}
+	// seq-gap: full at 1, delta claiming base 5.
+	pushFull(t, g, "esx-x", 1, reg)
+	if err := g.Ingest(deltaBatch(t, "esx-x", 6, 5, base, cur), "push"); err == nil {
+		t.Fatal("gapped delta applied")
+	}
+	// unknown-disk: a delta naming a disk the stored base does not hold.
+	other := makeRegistry(7, 1, 2, 50) // different host's vm/disk names
+	feed(other.List()[0], 9, 30)
+	unknownDisk := &Batch{
+		Host: "esx-x", Seq: 2, BaseSeq: 1, Delta: true,
+		Snapshots: []*core.Snapshot{other.Snapshots()[1].Sub(nil)},
+	}
+	if err := g.Ingest(unknownDisk, "push"); err == nil {
+		t.Fatal("delta for unknown disk applied")
+	}
+	// layout-mismatch: a delta whose snapshots fail validation (here: a
+	// snapshot with no histograms at all, the shape a layout-skewed or
+	// mangled sender produces).
+	var bare core.Snapshot
+	if err := json.Unmarshal([]byte(`{"vm":"vm0","disk":"disk0"}`), &bare); err != nil {
+		t.Fatal(err)
+	}
+	mismatch := &Batch{
+		Host: "esx-x", Seq: 3, BaseSeq: 1, Delta: true,
+		Snapshots: []*core.Snapshot{&bare},
+	}
+	err := g.Ingest(mismatch, "push")
+	if err == nil {
+		t.Fatal("layout-mismatched delta applied")
+	}
+	if !errorsIsResync(err) {
+		t.Fatalf("layout mismatch on a delta: err = %v, want a resync", err)
+	}
+
+	st := g.Stats()
+	if st.ResyncUnknownHost != 1 || st.ResyncSeqGap != 1 || st.ResyncUnknownDisk != 1 || st.ResyncLayoutMismatch != 1 {
+		t.Errorf("per-cause = host:%d gap:%d disk:%d layout:%d, want 1 each",
+			st.ResyncUnknownHost, st.ResyncSeqGap, st.ResyncUnknownDisk, st.ResyncLayoutMismatch)
+	}
+	if st.Resyncs != 4 {
+		t.Errorf("total resyncs = %d, want 4 (the sum of causes)", st.Resyncs)
+	}
+	// A full batch failing validation stays a rejection, not a resync.
+	if err := g.Ingest(&Batch{Host: "esx-x", Seq: 4, Snapshots: []*core.Snapshot{&bare}}, "push"); err == nil || errorsIsResync(err) {
+		t.Errorf("invalid FULL batch: err = %v, want non-resync rejection", err)
+	}
+	if got := g.Stats().Resyncs; got != 4 {
+		t.Errorf("full-batch rejection bumped resyncs to %d", got)
+	}
+}
+
+// TestResyncCause409Body checks the HTTP push surface serializes the
+// typed cause into the 409 body, so agents and operators can tell a
+// restart storm from version skew without parsing error strings.
+func TestResyncCause409Body(t *testing.T) {
+	g := NewAggregator(AggregatorConfig{StaleAfter: time.Hour})
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+
+	reg := makeRegistry(8, 1, 1, 60)
+	base := reg.Snapshots()
+	feed(reg.List()[0], 3, 30)
+	frame, err := EncodeBatchBytes(deltaBatch(t, "esx-y", 2, 1, base, reg.Snapshots()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/fleet/push", ContentType, bytes.NewReader(frame))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status %d, want 409", resp.StatusCode)
+	}
+	var body struct {
+		Error       string `json:"error"`
+		ResyncCause string `json:"resync_cause"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.ResyncCause != string(ResyncUnknownHost) {
+		t.Errorf("resync_cause = %q, want %q", body.ResyncCause, ResyncUnknownHost)
+	}
+	if body.Error == "" || !strings.Contains(body.Error, "resync") {
+		t.Errorf("error body %q lost the human-readable message", body.Error)
+	}
+}
+
+// TestObservabilityRoutes checks /fleet/events and /fleet/slow are 404
+// without a tracker and live with one.
+func TestObservabilityRoutes(t *testing.T) {
+	bare := httptest.NewServer(NewAggregator(AggregatorConfig{StaleAfter: time.Hour}))
+	defer bare.Close()
+	for _, route := range []string{"/fleet/events", "/fleet/slow"} {
+		resp, err := http.Get(bare.URL + route)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("%s without Obs: %d, want 404", route, resp.StatusCode)
+		}
+	}
+
+	obs := fleetobs.New(fleetobs.Config{SampleEvery: 1})
+	g := NewAggregator(AggregatorConfig{StaleAfter: time.Hour, Obs: obs})
+	srv := httptest.NewServer(g)
+	defer srv.Close()
+	reg := makeRegistry(9, 1, 1, 30)
+	pushFull(t, g, "esx-z", 1, reg)
+	resp, err := http.Get(srv.URL + "/fleet/events?kind=stage")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/fleet/events with Obs: %d", resp.StatusCode)
+	}
+	var events struct {
+		Total  int64            `json:"total"`
+		Events []fleetobs.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&events); err != nil {
+		t.Fatal(err)
+	}
+	if events.Total < 1 || len(events.Events) < 1 {
+		t.Errorf("events after an ingest: total %d, %d returned", events.Total, len(events.Events))
+	}
+	resp2, err := http.Get(srv.URL + "/fleet/slow?threshold=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Errorf("/fleet/slow with Obs: %d", resp2.StatusCode)
+	}
+}

@@ -35,8 +35,12 @@ import (
 
 // Wire format constants.
 const (
-	// Version is the frame version this package writes.
-	Version = 1
+	// Version is the frame version this package writes. Version 2 added
+	// the trace_id and capture_unix_nano header fields; because they ride
+	// in the JSON header (ignored by readers that predate them) and change
+	// no payload semantics, no new flag bit is needed and version-1
+	// decoders accept version-2 frames unchanged.
+	Version = 2
 
 	// flagGzip marks a gzip-compressed payload.
 	flagGzip = 1 << 0
@@ -100,6 +104,17 @@ type Batch struct {
 	// Snapshots is the registry's state — cumulative since enable/reset on
 	// full batches, interval deltas on delta batches.
 	Snapshots []*core.Snapshot `json:"-"`
+	// TraceID identifies one push end-to-end: the agent stamps it at
+	// capture time and every pipeline stage — encode, push, decode, shard
+	// apply, log append, replay — reports against it, so a single push can
+	// be followed across processes. Empty on frames from pre-trace
+	// senders; carried in the frame header, never required.
+	TraceID string `json:"-"`
+	// CaptureUnixNano is the sender's wall clock when the underlying
+	// registry snapshots were captured (before delta rendering, encoding
+	// and queueing), as opposed to SentUnixNano which is when the batch
+	// was built. Zero on frames from pre-trace senders.
+	CaptureUnixNano int64 `json:"-"`
 }
 
 // batchHeader is the frame header; Count duplicates len(Snapshots) so a
@@ -112,12 +127,18 @@ type batchHeader struct {
 	// BaseSeq accompanies the flagDelta frame bit (which alone marks a
 	// frame as a delta); omitted from full-batch headers.
 	BaseSeq uint64 `json:"base_seq,omitempty"`
+	// TraceID and CaptureUnixNano (version 2) ride the JSON header's
+	// forward-compatibility rule: old readers ignore them, old writers
+	// omit them, and either way the frame stays decodable.
+	TraceID         string `json:"trace_id,omitempty"`
+	CaptureUnixNano int64  `json:"capture_unix_nano,omitempty"`
 }
 
 // EncodeBatch writes b to w as one frame.
 func EncodeBatch(w io.Writer, b *Batch) error {
 	hdr := batchHeader{
 		Host: b.Host, Seq: b.Seq, SentUnixNano: b.SentUnixNano, Count: len(b.Snapshots),
+		TraceID: b.TraceID, CaptureUnixNano: b.CaptureUnixNano,
 	}
 	if b.Delta {
 		hdr.BaseSeq = b.BaseSeq
@@ -294,6 +315,7 @@ func DecodeBatch(r io.Reader) (*Batch, error) {
 	out := &Batch{
 		Host: hdr.Host, Seq: hdr.Seq, SentUnixNano: hdr.SentUnixNano,
 		Delta: flags&flagDelta != 0, Snapshots: snaps,
+		TraceID: hdr.TraceID, CaptureUnixNano: hdr.CaptureUnixNano,
 	}
 	if out.Delta {
 		// base_seq means nothing without the flag; dropping it on full

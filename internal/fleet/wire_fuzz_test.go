@@ -43,6 +43,19 @@ func FuzzDecodeBatch(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(deltaData)
+
+	// The version-2 header extension: trace id and capture timestamp
+	// riding the JSON header. Seeded whole and truncated so the fuzzer
+	// explores the extended header's field boundaries too.
+	traced, err := EncodeBatchBytes(&Batch{
+		Host: "seed-traced", Seq: 4, Snapshots: deltaBase,
+		TraceID: "seed-traced-00c0ffee-4", CaptureUnixNano: 1_700_000_000_000_000_000,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(traced)
+	f.Add(traced[:len(traced)*2/3])
 	f.Add(deltaData[:len(deltaData)/3])
 	badFlags := append([]byte(nil), deltaData...)
 	badFlags[5] |= 1 << 7 // an unknown flag bit alongside flagDelta
@@ -103,6 +116,12 @@ func FuzzDecodeBatch(f *testing.F) {
 		if b2.Delta != b.Delta || b2.BaseSeq != b.BaseSeq {
 			t.Fatalf("delta marker drifted: delta %v base %d vs delta %v base %d",
 				b.Delta, b.BaseSeq, b2.Delta, b2.BaseSeq)
+		}
+		// So do the version-2 trace fields — a decoder that dropped them
+		// would break end-to-end pipeline tracing silently.
+		if b2.TraceID != b.TraceID || b2.CaptureUnixNano != b.CaptureUnixNano {
+			t.Fatalf("trace fields drifted: %q/%d vs %q/%d",
+				b.TraceID, b.CaptureUnixNano, b2.TraceID, b2.CaptureUnixNano)
 		}
 		// A batch that validated must merge without panicking.
 		if valid && len(b.Snapshots) > 0 {

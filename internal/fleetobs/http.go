@@ -1,0 +1,221 @@
+package fleetobs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// ServeEvents handles GET /fleet/events: the event ring as JSON,
+// oldest first. Query parameters: kind= and host= filter, limit=
+// bounds the result (default: the whole ring).
+func (t *Tracker) ServeEvents(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, `{"error": "method not allowed"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	kind := r.URL.Query().Get("kind")
+	host := r.URL.Query().Get("host")
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, `{"error": "bad limit"}`, http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	events := t.Events(0)
+	filtered := events[:0:0]
+	for _, e := range events {
+		if kind != "" && e.Kind != kind {
+			continue
+		}
+		if host != "" && e.Host != host {
+			continue
+		}
+		filtered = append(filtered, e)
+	}
+	if limit > 0 && len(filtered) > limit {
+		filtered = filtered[len(filtered)-limit:]
+	}
+	writeObsJSON(w, map[string]any{
+		"total":  t.EventsTotal(),
+		"events": filtered,
+	})
+}
+
+// ServeSlow handles GET /fleet/slow: the retained slowest operations,
+// slowest first. threshold= takes a Go duration ("10ms") or an integer
+// nanosecond count; limit= bounds the result.
+func (t *Tracker) ServeSlow(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		w.Header().Set("Allow", http.MethodGet)
+		http.Error(w, `{"error": "method not allowed"}`, http.StatusMethodNotAllowed)
+		return
+	}
+	var threshold time.Duration
+	if s := r.URL.Query().Get("threshold"); s != "" {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			n, nerr := strconv.ParseInt(s, 10, 64)
+			if nerr != nil {
+				http.Error(w, `{"error": "bad threshold (want duration like 10ms or integer nanos)"}`, http.StatusBadRequest)
+				return
+			}
+			d = time.Duration(n)
+		}
+		threshold = d
+	}
+	limit := 0
+	if s := r.URL.Query().Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 0 {
+			http.Error(w, `{"error": "bad limit"}`, http.StatusBadRequest)
+			return
+		}
+		limit = n
+	}
+	writeObsJSON(w, map[string]any{
+		"threshold_nanos": threshold.Nanoseconds(),
+		"ops":             t.Slowest(threshold, limit),
+	})
+}
+
+func writeObsJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// ChromeTraceHandler serves the event ring in the Chrome trace-event
+// format (load in chrome://tracing or Perfetto). Hosts map to
+// processes, stages and event kinds to threads; events without a host
+// group under a synthetic process named after their scope.
+func (t *Tracker) ChromeTraceHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		t.WriteChromeTrace(w)
+	})
+}
+
+// WriteChromeTrace renders the current event ring as a Chrome
+// trace-event JSON array. Timed events become complete ("X") slices
+// whose start is end-time minus duration; instantaneous events become
+// instants ("i"). Process and thread ids are assigned stably by sorted
+// name, so repeated captures line up.
+func (t *Tracker) WriteChromeTrace(w io.Writer) {
+	events := t.Events(0)
+
+	// A process per host (or per scope for host-less events); a thread
+	// per stage/kind within each process.
+	procName := func(e Event) string {
+		if e.Host != "" {
+			return e.Host
+		}
+		if e.Scope != "" {
+			return e.Scope
+		}
+		return "fleet"
+	}
+	threadName := func(e Event) string {
+		if e.Stage != "" {
+			return e.Stage
+		}
+		return e.Kind
+	}
+	procSet := map[string]bool{}
+	threadSet := map[string]bool{} // "proc\x00thread"
+	for _, e := range events {
+		p := procName(e)
+		procSet[p] = true
+		threadSet[p+"\x00"+threadName(e)] = true
+	}
+	procs := make([]string, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Strings(procs)
+	pid := map[string]int{}
+	for i, p := range procs {
+		pid[p] = i + 1
+	}
+	threads := make([]string, 0, len(threadSet))
+	for th := range threadSet {
+		threads = append(threads, th)
+	}
+	sort.Strings(threads)
+	tid := map[string]int{}
+	next := map[string]int{} // per-process thread counter
+	for _, th := range threads {
+		var proc string
+		for i := 0; i < len(th); i++ {
+			if th[i] == 0 {
+				proc = th[:i]
+				break
+			}
+		}
+		next[proc]++
+		tid[th] = next[proc]
+	}
+
+	first := true
+	emit := func(format string, args ...any) {
+		if !first {
+			io.WriteString(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, format, args...)
+	}
+	io.WriteString(w, "[\n")
+	for _, p := range procs {
+		emit(`{"ph":"M","name":"process_name","pid":%d,"tid":0,"args":{"name":%q}}`, pid[p], p)
+	}
+	for _, th := range threads {
+		var proc, name string
+		for i := 0; i < len(th); i++ {
+			if th[i] == 0 {
+				proc, name = th[:i], th[i+1:]
+				break
+			}
+		}
+		emit(`{"ph":"M","name":"thread_name","pid":%d,"tid":%d,"args":{"name":%q}}`,
+			pid[proc], tid[th], name)
+	}
+	for _, e := range events {
+		p := procName(e)
+		th := p + "\x00" + threadName(e)
+		args, _ := json.Marshal(map[string]any{
+			"seq": e.Seq, "trace_id": e.TraceID, "batch_seq": e.BatchSeq,
+			"shard": e.Shard, "cause": e.Cause, "detail": e.Detail,
+		})
+		name := threadName(e)
+		if e.Cause != "" {
+			name += ":" + e.Cause
+		}
+		cat := "pipeline"
+		if e.Kind != KindStage {
+			cat = "control"
+		}
+		if e.DurationNanos > 0 {
+			startMicros := (e.UnixNano - e.DurationNanos) / 1000
+			emit(`{"ph":"X","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%d,"dur":%d,"args":%s}`,
+				name, cat, pid[p], tid[th], startMicros, e.DurationNanos/1000, args)
+			continue
+		}
+		emit(`{"ph":"i","name":%q,"cat":%q,"pid":%d,"tid":%d,"ts":%d,"s":"p","args":%s}`,
+			name, cat, pid[p], tid[th], e.UnixNano/1000, args)
+	}
+	io.WriteString(w, "\n]\n")
+}

@@ -1,0 +1,67 @@
+package histogram
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTimerRecords(t *testing.T) {
+	h := New("timer_test", "ns", PowerOfTwoEdges(256, 1<<30))
+	tm := h.StartTimer()
+	if !tm.Running() {
+		t.Fatal("timer from live histogram not running")
+	}
+	time.Sleep(time.Millisecond)
+	d := tm.Stop()
+	if d < time.Millisecond {
+		t.Fatalf("Stop returned %v, want >= 1ms", d)
+	}
+	if got := h.Total(); got != 1 {
+		t.Fatalf("Total = %d after one Stop, want 1", got)
+	}
+}
+
+func TestTimerNilHistogramInert(t *testing.T) {
+	var h *Histogram
+	tm := h.StartTimer()
+	if tm.Running() {
+		t.Fatal("timer from nil histogram claims to be running")
+	}
+	if d := tm.Stop(); d != 0 {
+		t.Fatalf("inert Stop = %v, want 0", d)
+	}
+	// Zero value behaves the same.
+	var zero Timer
+	if zero.Stop() != 0 {
+		t.Fatal("zero Timer Stop != 0")
+	}
+}
+
+func TestObserveSince(t *testing.T) {
+	h := New("observe_test", "ns", PowerOfTwoEdges(256, 1<<30))
+	start := time.Now().Add(-time.Millisecond)
+	d := h.ObserveSince(start)
+	if d < time.Millisecond {
+		t.Fatalf("ObserveSince = %v, want >= 1ms", d)
+	}
+	if h.Total() != 1 {
+		t.Fatalf("Total = %d, want 1", h.Total())
+	}
+
+	// Nil histogram still reports elapsed time.
+	var nilH *Histogram
+	if d := nilH.ObserveSince(start); d < time.Millisecond {
+		t.Fatalf("nil ObserveSince = %v, want elapsed time", d)
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	h := New("observe_dur_test", "ns", PowerOfTwoEdges(256, 1<<30))
+	h.ObserveDuration(42 * time.Microsecond)
+	h.ObserveDuration(7 * time.Second)
+	if h.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", h.Total())
+	}
+	var nilH *Histogram
+	nilH.ObserveDuration(time.Second) // must not panic
+}

@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"strconv"
+
+	"vscsistats/internal/histogram"
+)
+
+// FleetObsStage is one fleet pipeline stage's latency distribution:
+// Scope is "agent" or "aggregator", Stage the snake_case stage name
+// (capture, encode, ingest, fsync, ...), Hist nanosecond latencies.
+type FleetObsStage struct {
+	Scope string
+	Stage string
+	Hist  *histogram.Snapshot
+}
+
+// FleetObsEventCount is one pipeline event kind's lifetime count.
+type FleetObsEventCount struct {
+	Kind  string
+	Count int64
+}
+
+// FleetObsSource reports the fleet pipeline's self-characterization:
+// per-stage latency histograms and per-kind event counters.
+// fleetobs.Tracker implements it; the indirection keeps this package
+// free of a fleetobs dependency (mirroring FleetSource).
+type FleetObsSource interface {
+	FleetObsStages() []FleetObsStage
+	FleetObsEvents() []FleetObsEventCount
+}
+
+// WithFleetObs attaches a fleet pipeline observability source and
+// returns the exporter. Scrapes then include the vscsistats_fleetobs_*
+// series: one cumulative histogram per pipeline stage (labelled
+// scope/stage) and per-kind event counters.
+func (e *Exporter) WithFleetObs(src FleetObsSource) *Exporter {
+	e.fleetObs = src
+	return e
+}
+
+// writeFleetObs emits the vscsistats_fleetobs_* series.
+func (e *Exporter) writeFleetObs(p *promWriter) {
+	if e.fleetObs == nil {
+		return
+	}
+	stages := e.fleetObs.FleetObsStages()
+	p.family("vscsistats_fleetobs_stage_duration_nanoseconds", "histogram",
+		"Fleet pipeline stage latency (sampled on hot paths), by scope and stage.")
+	for _, st := range stages {
+		if st.Hist == nil {
+			continue
+		}
+		labels := `scope="` + escapeLabel(st.Scope) + `",stage="` + escapeLabel(st.Stage) + `"`
+		p.histogram("vscsistats_fleetobs_stage_duration_nanoseconds", labels, st.Hist)
+	}
+	p.family("vscsistats_fleetobs_events_total", "counter",
+		"Fleet pipeline events recorded, by kind (ring overwrites included).")
+	for _, ec := range e.fleetObs.FleetObsEvents() {
+		p.sample("vscsistats_fleetobs_events_total",
+			`kind="`+escapeLabel(ec.Kind)+`"`, strconv.FormatInt(ec.Count, 10))
+	}
+}

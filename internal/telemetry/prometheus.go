@@ -33,10 +33,11 @@ import (
 // ordinary counter reset. All reads go through the concurrency-safe
 // snapshot surfaces, so scraping while simulations issue commands is safe.
 type Exporter struct {
-	reg     *core.Registry
-	disks   DiskStatsSource
-	fleet   FleetSource
-	scrapes atomic.Int64
+	reg      *core.Registry
+	disks    DiskStatsSource
+	fleet    FleetSource
+	fleetObs FleetObsSource
+	scrapes  atomic.Int64
 	// lastScrapeNs records the duration of the most recent scrape.
 	lastScrapeNs atomic.Int64
 	// nowNanos is the wall clock, injectable for tests.
@@ -110,6 +111,7 @@ func (e *Exporter) Write(w io.Writer) error {
 	e.writeWorkloadHistograms(p, rows)
 	e.writeSelf(p, rows)
 	e.writeFleet(p)
+	e.writeFleetObs(p)
 
 	p.family("vscsistats_collectors", "gauge", "Collectors registered in the control plane.")
 	p.sample("vscsistats_collectors", "", strconv.Itoa(len(rows)))

@@ -1,30 +1,17 @@
 package telemetry
 
 import (
-	"fmt"
-	"math"
-	"sort"
-	"strconv"
-	"strings"
 	"testing"
+
+	"vscsistats/internal/telemetry/promtest"
 )
 
-// This file is a strict, test-only parser for the Prometheus text
-// exposition format (version 0.0.4). It enforces what a real Prometheus
-// server would require — and a few things it merely tolerates:
-//
-//   - every sample's family carries a # TYPE line *before* the first
-//     sample of that family;
-//   - metric and label names are well-formed, label values use the
-//     exposition escapes (\\, \", \n) correctly;
-//   - no duplicate series (same name + label set twice in one scrape);
-//   - histogram families are complete and internally consistent: le
-//     bounds strictly increasing, bucket counts non-decreasing
-//     (cumulative), a final +Inf bucket exactly equal to _count, and a
-//     _sum per series.
-//
-// The golden test and the -race scrape stress both funnel every scrape
-// through parseProm, so a malformed exposition fails loudly.
+// The strict exposition parser lives in promtest (exported so packages
+// that scrape the exporter end-to-end — internal/fleet — reuse it).
+// These wrappers keep this package's tests on their historical helper
+// names; every scrape here still funnels through the full strictness:
+// HELP and TYPE before samples, well-formed names and escapes, no
+// duplicate series, and complete cumulative histograms.
 
 type promSample struct {
 	name   string
@@ -35,310 +22,14 @@ type promSample struct {
 // label returns a label value ("" when absent).
 func (s promSample) label(k string) string { return s.labels[k] }
 
-// seriesKey canonicalizes name + labels for duplicate detection.
-func (s promSample) seriesKey() string {
-	keys := make([]string, 0, len(s.labels))
-	for k := range s.labels {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var b strings.Builder
-	b.WriteString(s.name)
-	for _, k := range keys {
-		fmt.Fprintf(&b, "|%s=%q", k, s.labels[k])
-	}
-	return b.String()
-}
-
-func validMetricName(s string) bool {
-	if s == "" {
-		return false
-	}
-	for i, r := range s {
-		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
-		if !ok {
-			return false
-		}
-	}
-	return true
-}
-
-func validLabelName(s string) bool {
-	if s == "" {
-		return false
-	}
-	for i, r := range s {
-		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
-		if !ok {
-			return false
-		}
-	}
-	return true
-}
-
-// scanLabels parses `{k="v",...}` starting at text[0] == '{'. It returns
-// the labels and the remainder after the closing brace.
-func scanLabels(text string) (map[string]string, string, error) {
-	labels := map[string]string{}
-	i := 1 // skip '{'
-	for {
-		if i >= len(text) {
-			return nil, "", fmt.Errorf("unterminated label set")
-		}
-		if text[i] == '}' {
-			return labels, text[i+1:], nil
-		}
-		start := i
-		for i < len(text) && text[i] != '=' {
-			i++
-		}
-		if i >= len(text) {
-			return nil, "", fmt.Errorf("label without '='")
-		}
-		name := text[start:i]
-		if !validLabelName(name) {
-			return nil, "", fmt.Errorf("bad label name %q", name)
-		}
-		if _, dup := labels[name]; dup {
-			return nil, "", fmt.Errorf("duplicate label %q", name)
-		}
-		i++ // '='
-		if i >= len(text) || text[i] != '"' {
-			return nil, "", fmt.Errorf("label %q value not quoted", name)
-		}
-		i++ // opening quote
-		var val strings.Builder
-		for {
-			if i >= len(text) {
-				return nil, "", fmt.Errorf("unterminated value for label %q", name)
-			}
-			c := text[i]
-			if c == '"' {
-				i++
-				break
-			}
-			if c == '\n' {
-				return nil, "", fmt.Errorf("raw newline in value for label %q", name)
-			}
-			if c == '\\' {
-				if i+1 >= len(text) {
-					return nil, "", fmt.Errorf("dangling escape in label %q", name)
-				}
-				switch text[i+1] {
-				case '\\':
-					val.WriteByte('\\')
-				case '"':
-					val.WriteByte('"')
-				case 'n':
-					val.WriteByte('\n')
-				default:
-					return nil, "", fmt.Errorf("invalid escape \\%c in label %q", text[i+1], name)
-				}
-				i += 2
-				continue
-			}
-			val.WriteByte(c)
-			i++
-		}
-		labels[name] = val.String()
-		if i < len(text) && text[i] == ',' {
-			i++
-		}
-	}
-}
-
-// parseProm parses one exposition strictly, failing the test on any
-// violation, and returns the samples in document order.
 func parseProm(t *testing.T, text string) []promSample {
 	t.Helper()
-	types := map[string]string{}
-	sampledFamilies := map[string]bool{}
-	seen := map[string]int{}
-	var samples []promSample
-
-	for lineNo, line := range strings.Split(text, "\n") {
-		ln := lineNo + 1
-		if strings.TrimSpace(line) == "" {
-			continue
-		}
-		if strings.HasPrefix(line, "# HELP ") {
-			rest := strings.TrimPrefix(line, "# HELP ")
-			name, _, _ := strings.Cut(rest, " ")
-			if !validMetricName(name) {
-				t.Fatalf("line %d: bad HELP metric name %q", ln, name)
-			}
-			continue
-		}
-		if strings.HasPrefix(line, "# TYPE ") {
-			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
-			if len(fields) != 2 {
-				t.Fatalf("line %d: malformed TYPE line %q", ln, line)
-			}
-			name, typ := fields[0], fields[1]
-			if !validMetricName(name) {
-				t.Fatalf("line %d: bad TYPE metric name %q", ln, name)
-			}
-			switch typ {
-			case "counter", "gauge", "histogram", "summary", "untyped":
-			default:
-				t.Fatalf("line %d: unknown metric type %q", ln, typ)
-			}
-			if _, dup := types[name]; dup {
-				t.Fatalf("line %d: duplicate TYPE for %q", ln, name)
-			}
-			if sampledFamilies[name] {
-				t.Fatalf("line %d: TYPE for %q after its samples", ln, name)
-			}
-			types[name] = typ
-			continue
-		}
-		if strings.HasPrefix(line, "#") {
-			continue // other comments are legal
-		}
-
-		// Sample line: name[{labels}] value [timestamp]
-		i := 0
-		for i < len(line) && line[i] != '{' && line[i] != ' ' {
-			i++
-		}
-		name := line[:i]
-		if !validMetricName(name) {
-			t.Fatalf("line %d: bad metric name %q", ln, name)
-		}
-		labels := map[string]string{}
-		rest := line[i:]
-		if strings.HasPrefix(rest, "{") {
-			var err error
-			labels, rest, err = scanLabels(rest)
-			if err != nil {
-				t.Fatalf("line %d: %v in %q", ln, err, line)
-			}
-		}
-		rest = strings.TrimSpace(rest)
-		valStr, _, _ := strings.Cut(rest, " ")
-		value, err := strconv.ParseFloat(valStr, 64)
-		if err != nil {
-			t.Fatalf("line %d: bad sample value %q: %v", ln, valStr, err)
-		}
-
-		// Resolve the family and require its TYPE to precede the sample.
-		family := name
-		typ, declared := types[name]
-		if !declared {
-			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-				base := strings.TrimSuffix(name, suffix)
-				if base != name && (types[base] == "histogram" || types[base] == "summary") {
-					family, typ, declared = base, types[base], true
-					break
-				}
-			}
-		}
-		if !declared {
-			t.Fatalf("line %d: sample %q has no preceding TYPE", ln, name)
-		}
-		sampledFamilies[family] = true
-		if typ == "counter" && value < 0 {
-			t.Fatalf("line %d: negative counter %s = %v", ln, name, value)
-		}
-		if _, isBucket := labels["le"]; isBucket && !(typ == "histogram" && strings.HasSuffix(name, "_bucket")) {
-			t.Fatalf("line %d: 'le' label outside a histogram bucket (%s)", ln, name)
-		}
-
-		s := promSample{name: name, labels: labels, value: value}
-		key := s.seriesKey()
-		if prev, dup := seen[key]; dup {
-			t.Fatalf("line %d: duplicate series %s (first at line %d)", ln, key, prev)
-		}
-		seen[key] = ln
-		samples = append(samples, s)
+	parsed := promtest.Parse(t, text)
+	samples := make([]promSample, 0, len(parsed))
+	for _, s := range parsed {
+		samples = append(samples, promSample{name: s.Name, labels: s.Labels, value: s.Value})
 	}
-
-	checkHistograms(t, types, samples)
 	return samples
-}
-
-// checkHistograms verifies every histogram family is cumulative, ordered,
-// and complete.
-func checkHistograms(t *testing.T, types map[string]string, samples []promSample) {
-	t.Helper()
-	type hist struct {
-		les     []float64
-		buckets []float64
-		sum     *float64
-		count   *float64
-	}
-	groups := map[string]*hist{}
-	get := func(family string, s promSample) *hist {
-		base := promSample{name: family, labels: map[string]string{}}
-		for k, v := range s.labels {
-			if k != "le" {
-				base.labels[k] = v
-			}
-		}
-		key := base.seriesKey()
-		h := groups[key]
-		if h == nil {
-			h = &hist{}
-			groups[key] = h
-		}
-		return h
-	}
-	for _, s := range samples {
-		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
-			family := strings.TrimSuffix(s.name, suffix)
-			if family == s.name || types[family] != "histogram" {
-				continue
-			}
-			h := get(family, s)
-			switch suffix {
-			case "_bucket":
-				le, ok := s.labels["le"]
-				if !ok {
-					t.Fatalf("histogram bucket %s without le label", s.name)
-				}
-				f, err := strconv.ParseFloat(le, 64)
-				if err != nil {
-					t.Fatalf("histogram %s: bad le %q", s.name, le)
-				}
-				h.les = append(h.les, f)
-				h.buckets = append(h.buckets, s.value)
-			case "_sum":
-				v := s.value
-				h.sum = &v
-			case "_count":
-				v := s.value
-				h.count = &v
-			}
-			break
-		}
-	}
-
-	for key, h := range groups {
-		if len(h.les) == 0 {
-			t.Errorf("histogram %s has no buckets", key)
-			continue
-		}
-		for i := 1; i < len(h.les); i++ {
-			if !(h.les[i] > h.les[i-1]) {
-				t.Errorf("histogram %s: le bounds not strictly increasing (%v then %v)", key, h.les[i-1], h.les[i])
-			}
-			if h.buckets[i] < h.buckets[i-1] {
-				t.Errorf("histogram %s: buckets not cumulative (%v after %v at le=%v)",
-					key, h.buckets[i], h.buckets[i-1], h.les[i])
-			}
-		}
-		if last := h.les[len(h.les)-1]; !math.IsInf(last, +1) {
-			t.Errorf("histogram %s: final bucket le=%v, want +Inf", key, last)
-		}
-		if h.count == nil {
-			t.Errorf("histogram %s: missing _count", key)
-		} else if inf := h.buckets[len(h.buckets)-1]; *h.count != inf {
-			t.Errorf("histogram %s: +Inf bucket %v != _count %v", key, inf, *h.count)
-		}
-		if h.sum == nil {
-			t.Errorf("histogram %s: missing _sum", key)
-		}
-	}
 }
 
 // findSample returns the first sample matching name and all given label

@@ -1,0 +1,379 @@
+// Package promtest is a strict, test-only parser for the Prometheus
+// text exposition format (version 0.0.4), shared by every package that
+// scrapes the exporter in its tests. It enforces what a real Prometheus
+// server would require — and a few things it merely tolerates:
+//
+//   - every sample's family carries a # HELP and a # TYPE line *before*
+//     the first sample of that family;
+//   - metric and label names are well-formed, label values use the
+//     exposition escapes (\\, \", \n) correctly;
+//   - no duplicate series (same name + label set twice in one scrape);
+//   - histogram families are complete and internally consistent: le
+//     bounds strictly increasing, bucket counts non-decreasing
+//     (cumulative), a final +Inf bucket exactly equal to _count, and a
+//     _sum per series.
+//
+// Funnel every test scrape through Parse so a malformed exposition
+// fails loudly, wherever it is scraped from.
+package promtest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Sample is one parsed sample line.
+type Sample struct {
+	Name   string
+	Labels map[string]string
+	Value  float64
+}
+
+// Label returns a label value ("" when absent).
+func (s Sample) Label(k string) string { return s.Labels[k] }
+
+// SeriesKey canonicalizes name + labels for duplicate detection.
+func (s Sample) SeriesKey() string {
+	keys := make([]string, 0, len(s.Labels))
+	for k := range s.Labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(s.Name)
+	for _, k := range keys {
+		fmt.Fprintf(&b, "|%s=%q", k, s.Labels[k])
+	}
+	return b.String()
+}
+
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func validLabelName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// scanLabels parses `{k="v",...}` starting at text[0] == '{'. It returns
+// the labels and the remainder after the closing brace.
+func scanLabels(text string) (map[string]string, string, error) {
+	labels := map[string]string{}
+	i := 1 // skip '{'
+	for {
+		if i >= len(text) {
+			return nil, "", fmt.Errorf("unterminated label set")
+		}
+		if text[i] == '}' {
+			return labels, text[i+1:], nil
+		}
+		start := i
+		for i < len(text) && text[i] != '=' {
+			i++
+		}
+		if i >= len(text) {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := text[start:i]
+		if !validLabelName(name) {
+			return nil, "", fmt.Errorf("bad label name %q", name)
+		}
+		if _, dup := labels[name]; dup {
+			return nil, "", fmt.Errorf("duplicate label %q", name)
+		}
+		i++ // '='
+		if i >= len(text) || text[i] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", name)
+		}
+		i++ // opening quote
+		var val strings.Builder
+		for {
+			if i >= len(text) {
+				return nil, "", fmt.Errorf("unterminated value for label %q", name)
+			}
+			c := text[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\n' {
+				return nil, "", fmt.Errorf("raw newline in value for label %q", name)
+			}
+			if c == '\\' {
+				if i+1 >= len(text) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch text[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in label %q", text[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels[name] = val.String()
+		if i < len(text) && text[i] == ',' {
+			i++
+		}
+	}
+}
+
+// Parse parses one exposition strictly, failing the test on any
+// violation, and returns the samples in document order.
+func Parse(t testing.TB, text string) []Sample {
+	t.Helper()
+	types := map[string]string{}
+	helps := map[string]bool{}
+	sampledFamilies := map[string]bool{}
+	seen := map[string]int{}
+	var samples []Sample
+
+	for lineNo, line := range strings.Split(text, "\n") {
+		ln := lineNo + 1
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, _, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				t.Fatalf("line %d: bad HELP metric name %q", ln, name)
+			}
+			if helps[name] {
+				t.Fatalf("line %d: duplicate HELP for %q", ln, name)
+			}
+			if sampledFamilies[name] {
+				t.Fatalf("line %d: HELP for %q after its samples", ln, name)
+			}
+			helps[name] = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE line %q", ln, line)
+			}
+			name, typ := fields[0], fields[1]
+			if !validMetricName(name) {
+				t.Fatalf("line %d: bad TYPE metric name %q", ln, name)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				t.Fatalf("line %d: unknown metric type %q", ln, typ)
+			}
+			if _, dup := types[name]; dup {
+				t.Fatalf("line %d: duplicate TYPE for %q", ln, name)
+			}
+			if sampledFamilies[name] {
+				t.Fatalf("line %d: TYPE for %q after its samples", ln, name)
+			}
+			types[name] = typ
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // other comments are legal
+		}
+
+		// Sample line: name[{labels}] value [timestamp]
+		i := 0
+		for i < len(line) && line[i] != '{' && line[i] != ' ' {
+			i++
+		}
+		name := line[:i]
+		if !validMetricName(name) {
+			t.Fatalf("line %d: bad metric name %q", ln, name)
+		}
+		labels := map[string]string{}
+		rest := line[i:]
+		if strings.HasPrefix(rest, "{") {
+			var err error
+			labels, rest, err = scanLabels(rest)
+			if err != nil {
+				t.Fatalf("line %d: %v in %q", ln, err, line)
+			}
+		}
+		rest = strings.TrimSpace(rest)
+		valStr, _, _ := strings.Cut(rest, " ")
+		value, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("line %d: bad sample value %q: %v", ln, valStr, err)
+		}
+
+		// Resolve the family and require its HELP and TYPE to precede
+		// the sample.
+		family := name
+		typ, declared := types[name]
+		if !declared {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && (types[base] == "histogram" || types[base] == "summary") {
+					family, typ, declared = base, types[base], true
+					break
+				}
+			}
+		}
+		if !declared {
+			t.Fatalf("line %d: sample %q has no preceding TYPE", ln, name)
+		}
+		if !helps[family] {
+			t.Fatalf("line %d: sample %q (family %q) has no preceding HELP", ln, name, family)
+		}
+		sampledFamilies[family] = true
+		if typ == "counter" && value < 0 {
+			t.Fatalf("line %d: negative counter %s = %v", ln, name, value)
+		}
+		if _, isBucket := labels["le"]; isBucket && !(typ == "histogram" && strings.HasSuffix(name, "_bucket")) {
+			t.Fatalf("line %d: 'le' label outside a histogram bucket (%s)", ln, name)
+		}
+
+		s := Sample{Name: name, Labels: labels, Value: value}
+		key := s.SeriesKey()
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("line %d: duplicate series %s (first at line %d)", ln, key, prev)
+		}
+		seen[key] = ln
+		samples = append(samples, s)
+	}
+
+	CheckHistograms(t, types, samples)
+	return samples
+}
+
+// CheckHistograms verifies every histogram family is cumulative,
+// ordered, and complete. Parse calls it on everything it returns;
+// exported for callers that assemble samples another way.
+func CheckHistograms(t testing.TB, types map[string]string, samples []Sample) {
+	t.Helper()
+	type hist struct {
+		les     []float64
+		buckets []float64
+		sum     *float64
+		count   *float64
+	}
+	groups := map[string]*hist{}
+	get := func(family string, s Sample) *hist {
+		base := Sample{Name: family, Labels: map[string]string{}}
+		for k, v := range s.Labels {
+			if k != "le" {
+				base.Labels[k] = v
+			}
+		}
+		key := base.SeriesKey()
+		h := groups[key]
+		if h == nil {
+			h = &hist{}
+			groups[key] = h
+		}
+		return h
+	}
+	for _, s := range samples {
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			family := strings.TrimSuffix(s.Name, suffix)
+			if family == s.Name || types[family] != "histogram" {
+				continue
+			}
+			h := get(family, s)
+			switch suffix {
+			case "_bucket":
+				le, ok := s.Labels["le"]
+				if !ok {
+					t.Fatalf("histogram bucket %s without le label", s.Name)
+				}
+				f, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("histogram %s: bad le %q", s.Name, le)
+				}
+				h.les = append(h.les, f)
+				h.buckets = append(h.buckets, s.Value)
+			case "_sum":
+				v := s.Value
+				h.sum = &v
+			case "_count":
+				v := s.Value
+				h.count = &v
+			}
+			break
+		}
+	}
+
+	for key, h := range groups {
+		if len(h.les) == 0 {
+			t.Errorf("histogram %s has no buckets", key)
+			continue
+		}
+		for i := 1; i < len(h.les); i++ {
+			if !(h.les[i] > h.les[i-1]) {
+				t.Errorf("histogram %s: le bounds not strictly increasing (%v then %v)", key, h.les[i-1], h.les[i])
+			}
+			if h.buckets[i] < h.buckets[i-1] {
+				t.Errorf("histogram %s: buckets not cumulative (%v after %v at le=%v)",
+					key, h.buckets[i], h.buckets[i-1], h.les[i])
+			}
+		}
+		if last := h.les[len(h.les)-1]; !math.IsInf(last, +1) {
+			t.Errorf("histogram %s: final bucket le=%v, want +Inf", key, last)
+		}
+		if h.count == nil {
+			t.Errorf("histogram %s: missing _count", key)
+		} else if inf := h.buckets[len(h.buckets)-1]; *h.count != inf {
+			t.Errorf("histogram %s: +Inf bucket %v != _count %v", key, inf, *h.count)
+		}
+		if h.sum == nil {
+			t.Errorf("histogram %s: missing _sum", key)
+		}
+	}
+}
+
+// Find returns the first sample matching name and all given label
+// pairs, or fails the test.
+func Find(t testing.TB, samples []Sample, name string, labelPairs ...string) Sample {
+	t.Helper()
+	if len(labelPairs)%2 != 0 {
+		t.Fatalf("promtest.Find: odd label pairs")
+	}
+next:
+	for _, s := range samples {
+		if s.Name != name {
+			continue
+		}
+		for i := 0; i < len(labelPairs); i += 2 {
+			if s.Label(labelPairs[i]) != labelPairs[i+1] {
+				continue next
+			}
+		}
+		return s
+	}
+	t.Fatalf("no sample %s{%v}", name, labelPairs)
+	return Sample{}
+}

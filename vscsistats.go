@@ -41,6 +41,7 @@ import (
 	"vscsistats/internal/analysis"
 	"vscsistats/internal/core"
 	"vscsistats/internal/fleet"
+	"vscsistats/internal/fleetobs"
 	"vscsistats/internal/fs"
 	"vscsistats/internal/histogram"
 	"vscsistats/internal/httpstats"
@@ -483,6 +484,40 @@ func EncodeSnapshotBatch(w io.Writer, b *SnapshotBatch) error { return fleet.Enc
 
 // DecodeSnapshotBatch reads one frame; it never panics on corrupt input.
 func DecodeSnapshotBatch(r io.Reader) (*SnapshotBatch, error) { return fleet.DecodeBatch(r) }
+
+// FleetResyncCause classifies why an aggregator demanded a full resync
+// (seq-gap, unknown-host, unknown-disk, layout-mismatch); it rides the
+// 409 body as resync_cause and is counted per cause in
+// FleetAggregatorStats. FleetResyncError is the typed form — it still
+// matches errors.Is(err, ErrFleetResyncRequired).
+type (
+	FleetResyncCause = fleet.ResyncCause
+	FleetResyncError = fleet.ResyncError
+)
+
+// --- Fleet pipeline observability (internal/fleetobs) ---
+
+// FleetObsTracker characterizes the characterizer: per-stage latency
+// histograms over the fleet pipeline (capture, encode, push, decode,
+// ingest, log append, fsync, compaction, replay, …), a bounded ring of
+// structural events (rotations, resyncs with cause, torn tails,
+// compactions), and a top-K slowest-operations ring. Hand one to
+// FleetAgentConfig.Obs or FleetAggregatorConfig.Obs, chain
+// MetricsExporter.WithFleetObs for the vscsistats_fleetobs_* series,
+// and mount ChromeTraceHandler at StatsOptions.FleetTrace. A nil
+// tracker is fully inert.
+type (
+	FleetObsTracker = fleetobs.Tracker
+	FleetObsConfig  = fleetobs.Config
+	FleetObsEvent   = fleetobs.Event
+	FleetObsStage   = fleetobs.Stage
+)
+
+// NewFleetObsTracker builds a tracker; the zero config gives a
+// 1024-event ring, a top-64 slow ring and 1-in-64 hot-path sampling.
+func NewFleetObsTracker(cfg FleetObsConfig) *FleetObsTracker {
+	return fleetobs.New(cfg)
+}
 
 // --- Tracing and offline analysis ---
 
