@@ -9,7 +9,8 @@
 //     256/1024 simulated hosts against the monolithic single-mutex
 //     configuration, full vs delta wire bytes per push interval, cached
 //     vs uncached cluster merges, segment-log boot replay at 1024 hosts,
-//     and whole-fleet history window queries.
+//     whole-fleet history window queries, and simulated-datacenter ingest
+//     (256 vscsim hosts' full state through the wire codec per op).
 //
 // It shells out to `go test -bench`, takes the minimum over -count runs
 // (min-of-N discards scheduler noise; the floor is the honest cost), and
@@ -88,6 +89,7 @@ var fleetSuite = []benchSpec{
 	{"./internal/fleet", "^BenchmarkFleetWireBytes(Full|Delta)$", nil},
 	{"./internal/fleet", "^BenchmarkFleetMerge(Cached|Uncached)$", nil},
 	{"./internal/fleet", "^BenchmarkFleetReplay1024$|^BenchmarkFleetHistoryQuery$", nil},
+	{"./internal/vscsim", "^BenchmarkSimPushAll256$", nil},
 }
 
 func main() {

@@ -1,0 +1,162 @@
+// Command vscsictl is the fleet operator's CLI — govc for the
+// characterization control plane. Every subcommand is a thin client over
+// the aggregator's /fleet HTTP API, rendered as aligned tables for humans
+// or raw JSON (-json) for scripts:
+//
+//	vscsictl -server http://aggr:9108 hosts          # per-host liveness
+//	vscsictl vms                                     # merged per-VM views
+//	vscsictl snapshot                                # cluster-wide merge
+//	vscsictl snapshot -vm esx-0001-vm01              # one VM's merge
+//	vscsictl history -from 2026-08-08T12:00:00Z -vms # windowed, off the log
+//	vscsictl catalog                                 # §7 classification
+//	vscsictl events -kind resync                     # pipeline event ring
+//	vscsictl watch                                   # live status ticks
+//
+// -server defaults to $VSCSICTL_SERVER, then http://127.0.0.1:9108 — the
+// vscsifleet aggregator's default listen address.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// ctl carries one invocation's context; commands are methods on it so
+// tests can run them against an httptest server and capture the output.
+type ctl struct {
+	server string
+	json   bool
+	client *http.Client
+	out    io.Writer
+	errw   io.Writer
+	// now and sleep are injectable for deterministic watch tests.
+	now   func() time.Time
+	sleep func(time.Duration)
+}
+
+var commands = []struct {
+	name, help string
+}{
+	{"hosts", "list every known host with liveness"},
+	{"vms", "list the merged per-VM views"},
+	{"snapshot", "show the cluster-wide merge (or -vm NAME)"},
+	{"history", "windowed merge over the segment log (-from, -to)"},
+	{"catalog", "classify VMs against the reference catalog"},
+	{"events", "dump the pipeline event ring"},
+	{"watch", "poll fleet status until interrupted"},
+}
+
+func run(args []string, out, errw io.Writer) int {
+	fs := flag.NewFlagSet("vscsictl", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	server := fs.String("server", defaultServer(), "aggregator base URL (env VSCSICTL_SERVER)")
+	jsonOut := fs.Bool("json", false, "emit the server's raw JSON instead of tables")
+	fs.Usage = func() {
+		fmt.Fprintf(errw, "usage: vscsictl [-server URL] [-json] <command> [flags]\n\ncommands:\n")
+		for _, c := range commands {
+			fmt.Fprintf(errw, "  %-10s %s\n", c.name, c.help)
+		}
+		fmt.Fprintf(errw, "\nglobal flags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	rest := fs.Args()
+	if len(rest) == 0 {
+		fs.Usage()
+		return 2
+	}
+	c := &ctl{
+		server: strings.TrimRight(*server, "/"),
+		json:   *jsonOut,
+		client: &http.Client{Timeout: 30 * time.Second},
+		out:    out,
+		errw:   errw,
+		now:    time.Now,
+		sleep:  time.Sleep,
+	}
+	var err error
+	switch cmd, cmdArgs := rest[0], rest[1:]; cmd {
+	case "hosts":
+		err = c.cmdHosts(cmdArgs)
+	case "vms":
+		err = c.cmdVMs(cmdArgs)
+	case "snapshot":
+		err = c.cmdSnapshot(cmdArgs)
+	case "history":
+		err = c.cmdHistory(cmdArgs)
+	case "catalog":
+		err = c.cmdCatalog(cmdArgs)
+	case "events":
+		err = c.cmdEvents(cmdArgs)
+	case "watch":
+		err = c.cmdWatch(cmdArgs)
+	default:
+		fmt.Fprintf(errw, "vscsictl: unknown command %q\n", cmd)
+		fs.Usage()
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintf(errw, "vscsictl: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func defaultServer() string {
+	if s := os.Getenv("VSCSICTL_SERVER"); s != "" {
+		return s
+	}
+	return "http://127.0.0.1:9108"
+}
+
+// get fetches server+path and returns the body. Non-200 responses carry
+// JSON {"error": ...} bodies on every /fleet route; surface that message.
+func (c *ctl) get(path string) ([]byte, error) {
+	resp, err := c.client.Get(c.server + path)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return nil, fmt.Errorf("GET %s: %s: %s", path, resp.Status, e.Error)
+		}
+		return nil, fmt.Errorf("GET %s: %s", path, resp.Status)
+	}
+	return body, nil
+}
+
+// getJSON fetches path, and either passes the raw body through (-json,
+// returning done=true) or decodes it into v for table rendering.
+func (c *ctl) getJSON(path string, v any) (done bool, err error) {
+	body, err := c.get(path)
+	if err != nil {
+		return false, err
+	}
+	if c.json {
+		c.out.Write(bytes.TrimRight(body, "\n"))
+		fmt.Fprintln(c.out)
+		return true, nil
+	}
+	return false, json.Unmarshal(body, v)
+}

@@ -15,6 +15,18 @@
 //	vscsifleet -mode agent -host esx-01 -workload iometer-8k-rand \
 //	    -push http://127.0.0.1:9108/fleet/push -interval 2s
 //
+// Sim mode — a synthetic datacenter in one process: -hosts wall-paced
+// simulated hosts (each with -vms-per-host VMs drawn from the fleet
+// personality population at heavy-tailed intensities, all derived from
+// one -seed), every host pushing through a real fleet agent:
+//
+//	vscsifleet -mode sim -hosts 1000 -vms-per-host 8 -seed 42 -speed 100 \
+//	    -push http://127.0.0.1:9108/fleet/push -interval 2s
+//
+// Pair it with an aggregator started with -catalog, and /fleet/catalog
+// (or `vscsictl catalog`) classifies every simulated VM back to the
+// personality that generated it — the paper's §7 loop at fleet scope.
+//
 // The aggregator serves /fleet/hosts, /fleet/snapshot, /fleet/shards,
 // /fleet/history, /fleet/log and /fleet/push, plus /metrics (with the
 // merged fleet_* series) and /healthz; agents additionally expose their
@@ -43,8 +55,8 @@ import (
 
 func main() {
 	var (
-		mode   = flag.String("mode", "", "aggregator or agent")
-		listen = flag.String("listen", "", "HTTP listen address (aggregator default :9108; agents serve their stats surface when set)")
+		mode   = flag.String("mode", "", "aggregator, agent or sim")
+		listen = flag.String("listen", "", "HTTP listen address (aggregator default :9108; agent/sim serve their stats surface when set)")
 
 		// Aggregator flags.
 		stale        = flag.Duration("stale", 6*time.Second, "aggregator: mark a host stale after this silence")
@@ -53,27 +65,41 @@ func main() {
 		pullInterval = flag.Duration("pull-interval", 0, "aggregator: scrape the -pull endpoints once per interval, phase-spread (0 = pushes only)")
 		dataDir      = flag.String("data-dir", "", "aggregator: persist ingested state to a segment log here and replay it on boot (empty = memory-only)")
 		retention    = flag.Duration("retention", 0, "aggregator: drop log segments older than this (0 = keep everything; requires -data-dir)")
+		catalog      = flag.Bool("catalog", false, "aggregator: build the fleet-personality reference catalog (from -seed) and serve /fleet/catalog")
+
+		// Shared simulation flags (agent and sim modes; -seed also feeds
+		// the aggregator's -catalog references).
+		push     = flag.String("push", "", "aggregator push URL, e.g. http://aggr:9108/fleet/push")
+		interval = flag.Duration("interval", 2*time.Second, "push interval per agent")
+		fullPush = flag.Bool("full-push", false, "always push full state instead of interval deltas")
+		seed     = flag.Int64("seed", 1, "master simulation seed: every workload RNG derives from it")
+		speed    = flag.Int("speed", 1, "virtual seconds simulated per wall second")
+		duration = flag.Duration("duration", 0, "stop after this wall-clock time (0 = run until interrupted)")
 
 		// Agent flags.
 		host     = flag.String("host", "", "agent: host name reported to the aggregator (default: hostname)")
-		push     = flag.String("push", "", "agent: aggregator push URL, e.g. http://aggr:9108/fleet/push")
-		interval = flag.Duration("interval", 2*time.Second, "agent: push interval")
 		workload = flag.String("workload", "iometer-8k-rand", "agent: scenario to simulate (see vscsistats -list)")
-		fullPush = flag.Bool("full-push", false, "agent: always push full state instead of interval deltas")
-		seed     = flag.Int64("seed", 1, "agent: simulation seed")
-		speed    = flag.Int("speed", 1, "agent: virtual seconds simulated per wall second")
-		duration = flag.Duration("duration", 0, "agent: stop after this wall-clock time (0 = run until interrupted)")
+
+		// Sim flags.
+		simHosts   = flag.Int("hosts", 64, "sim: simulated host count")
+		vmsPerHost = flag.Int("vms-per-host", 8, "sim: VMs per simulated host")
+		disksPerVM = flag.Int("disks-per-vm", 1, "sim: virtual disks per VM")
+		intensity  = flag.Float64("intensity", 1, "sim: global intensity multiplier on the heavy-tailed per-VM draws")
+		workers    = flag.Int("workers", 0, "sim: goroutines hosts are multiplexed onto (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	var err error
 	switch *mode {
 	case "aggregator":
-		err = runAggregator(*listen, *stale, *shards, *pull, *pullInterval, *dataDir, *retention)
+		err = runAggregator(*listen, *stale, *shards, *pull, *pullInterval, *dataDir, *retention, *catalog, *seed)
 	case "agent":
 		err = runAgent(*listen, *host, *push, *interval, *workload, *fullPush, *seed, *speed, *duration)
+	case "sim":
+		err = runSim(*listen, *push, *interval, *fullPush, *seed, *speed, *duration,
+			*simHosts, *vmsPerHost, *disksPerVM, *intensity, *workers)
 	default:
-		err = fmt.Errorf("vscsifleet: -mode must be aggregator or agent")
+		err = fmt.Errorf("vscsifleet: -mode must be aggregator, agent or sim")
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -81,7 +107,7 @@ func main() {
 	}
 }
 
-func runAggregator(listen string, stale time.Duration, shards int, pull string, pullInterval time.Duration, dataDir string, retention time.Duration) error {
+func runAggregator(listen string, stale time.Duration, shards int, pull string, pullInterval time.Duration, dataDir string, retention time.Duration, catalog bool, seed int64) error {
 	if listen == "" {
 		listen = ":9108"
 	}
@@ -93,6 +119,14 @@ func runAggregator(listen string, stale time.Duration, shards int, pull string, 
 		return err
 	}
 	defer agg.Close()
+	if catalog {
+		cat, err := vscsistats.SimReferenceCatalog(seed)
+		if err != nil {
+			return err
+		}
+		agg.SetCatalog(cat)
+		fmt.Fprintf(os.Stderr, "reference catalog (seed %d): %s\n", seed, strings.Join(cat.Names(), ", "))
+	}
 	if dataDir != "" {
 		fmt.Fprintf(os.Stderr, "segment log %s: replayed %d frames (%d hosts, %d skipped, %d torn tails) in %s\n",
 			dataDir, replay.Frames, replay.Hosts, replay.Skipped, replay.TornTails, replay.Duration.Round(time.Millisecond))
@@ -121,7 +155,7 @@ func runAggregator(listen string, stale time.Duration, shards int, pull string, 
 		Fleet:      agg,
 		FleetTrace: obs.ChromeTraceHandler(),
 	})
-	fmt.Fprintf(os.Stderr, "aggregator on %s (%d shards; /fleet/hosts, /fleet/snapshot, /fleet/shards, /fleet/history, /fleet/log, /fleet/events, /fleet/slow, /fleet/push, /metrics, /debug/fleettrace, /healthz; stale after %s)\n",
+	fmt.Fprintf(os.Stderr, "aggregator on %s (%d shards; /fleet/hosts, /fleet/snapshot, /fleet/shards, /fleet/history, /fleet/catalog, /fleet/log, /fleet/events, /fleet/slow, /fleet/push, /metrics, /debug/fleettrace, /healthz; stale after %s)\n",
 		listen, agg.NumShards(), stale)
 
 	// Serve until SIGINT/SIGTERM, then close the segment log so the final
@@ -209,6 +243,70 @@ func runAgent(listen, host, push string, interval time.Duration, workload string
 			fmt.Fprintf(os.Stderr, "agent %s done: %d pushes (%d deltas, %d resyncs), %d errors, %d dropped\n",
 				host, st.Pushes, st.DeltaPushes, st.Resyncs, st.Errors, st.Dropped)
 		}
+		return nil
+	}
+}
+
+// runSim generates a deterministic synthetic datacenter from seed and
+// runs every host wall-paced at -speed, each pushing through a real fleet
+// agent. Status lines report the achieved multiplier so a CPU-bound run
+// is visible rather than silently behind.
+func runSim(listen, push string, interval time.Duration, fullPush bool, seed int64, speed int, duration time.Duration, hosts, vmsPerHost, disksPerVM int, intensity float64, workers int) error {
+	if speed < 1 {
+		speed = 1
+	}
+	inv := vscsistats.NewSimInventory(vscsistats.SimInventoryConfig{
+		Seed: seed, Hosts: hosts, VMsPerHost: vmsPerHost, DisksPerVM: disksPerVM, Intensity: intensity,
+	})
+	build := time.Now()
+	sim, err := vscsistats.NewDatacenterSim(inv, vscsistats.DatacenterSimConfig{
+		Push: push, PushInterval: interval, Speed: float64(speed),
+		Workers: workers, DisableDeltas: fullPush,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "sim: %d hosts × %d VMs × %d disks (seed %d) built in %s; mix %v\n",
+		hosts, vmsPerHost, disksPerVM, seed, time.Since(build).Round(time.Millisecond), inv.PersonalityMix())
+	if listen != "" {
+		// The sim has no registry of its own to serve — its collectors live
+		// inside the per-host worlds — but /metrics with the vscsim_* series
+		// makes the world's size, pacing and push health scrapable.
+		reg := vscsistats.NewRegistry()
+		handler := vscsistats.NewStatsHandlerWith(reg, vscsistats.StatsOptions{
+			Metrics: vscsistats.NewMetricsExporter(reg).WithSim(sim),
+		})
+		go http.ListenAndServe(listen, handler)
+		fmt.Fprintf(os.Stderr, "sim: metrics on %s\n", listen)
+	}
+	fmt.Fprintf(os.Stderr, "sim: running at %dx realtime, pushing to %s every %s\n",
+		speed, orNone(push), interval)
+
+	sim.Start()
+	var stop <-chan time.Time
+	if duration > 0 {
+		stop = time.After(duration)
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	status := time.NewTicker(5 * time.Second)
+	defer status.Stop()
+	for {
+		select {
+		case <-status.C:
+			st := sim.Stats()
+			fmt.Fprintf(os.Stderr, "sim: virtual %s (%.1fx), %d ops, %d pushes (%d errors), %d throttled\n",
+				st.Virtual.Round(time.Second), st.Speed, st.Ops, st.Agent.Pushes, st.Agent.Errors, st.Throttled)
+			continue
+		case <-stop:
+		case sig := <-sigCh:
+			fmt.Fprintf(os.Stderr, "sim: %s: stopping (each agent drains a final push)\n", sig)
+		}
+		sim.Stop()
+		st := sim.Stats()
+		fmt.Fprintf(os.Stderr, "sim done: %d hosts, virtual %s in wall %s (%.1fx), %d ops (%d errors), %d pushes (%d deltas, %d push errors, %d resyncs)\n",
+			st.Hosts, st.Virtual.Round(time.Second), st.Wall.Round(time.Second), st.Speed,
+			st.Ops, st.Errors, st.Agent.Pushes, st.Agent.DeltaPushes, st.Agent.Errors, st.Agent.Resyncs)
 		return nil
 	}
 }

@@ -46,6 +46,27 @@ func (c *Catalog) Add(name string, snap *core.Snapshot) error {
 	return nil
 }
 
+// Names lists the catalog's reference names in insertion order.
+func (c *Catalog) Names() []string {
+	out := make([]string, len(c.refs))
+	for i, r := range c.refs {
+		out[i] = r.Name
+	}
+	return out
+}
+
+// Best classifies the probe and returns only the closest reference.
+func (c *Catalog) Best(probe *core.Snapshot) (Match, error) {
+	matches, err := c.Classify(probe)
+	if err != nil {
+		return Match{}, err
+	}
+	if len(matches) == 0 {
+		return Match{}, fmt.Errorf("analysis: catalog holds no references")
+	}
+	return matches[0], nil
+}
+
 // Match is one catalog entry's similarity to a probe snapshot.
 type Match struct {
 	Name string

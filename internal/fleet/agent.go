@@ -201,10 +201,21 @@ func (a *Agent) Start() {
 // never retried — Stop must terminate. Safe to call without Start (the
 // loop goroutine is then never created) and safe to call twice.
 func (a *Agent) Stop() {
-	a.stopOnce.Do(func() { close(a.stop) })
+	a.BeginStop()
 	a.startOnce.Do(func() { close(a.done) })
 	<-a.done
 	a.flush(time.Now())
+}
+
+// BeginStop signals the push loop to exit without waiting for it or
+// draining the queue; Stop completes the shutdown. Callers stopping a
+// fleet of agents should signal them all before draining any — with a
+// one-at-a-time Stop loop, agents late in the order keep capturing and
+// pushing while early ones drain, and on a loaded machine the collective
+// enqueue rate can outrun the drain rate indefinitely. Safe to call
+// without Start and safe to call twice.
+func (a *Agent) BeginStop() {
+	a.stopOnce.Do(func() { close(a.stop) })
 }
 
 func (a *Agent) run() {

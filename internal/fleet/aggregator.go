@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"vscsistats/internal/analysis"
 	"vscsistats/internal/core"
 	"vscsistats/internal/fleetobs"
 	"vscsistats/internal/telemetry"
@@ -84,6 +85,11 @@ type AggregatorConfig struct {
 	// full frames once its sealed-segment count reaches this (default 8;
 	// negative disables compaction).
 	CompactSegments int
+
+	// Catalog, when set, is the reference catalog GET /fleet/catalog
+	// classifies merged per-VM views against (paper §7 at fleet scope).
+	// SetCatalog installs or replaces it on a live aggregator.
+	Catalog *analysis.Catalog
 
 	// Obs, when set, receives per-stage latency samples (decode, lock
 	// wait, shard ingest, merge recompute, log append, fsync, compaction,
@@ -155,6 +161,9 @@ type Aggregator struct {
 	pmu   sync.RWMutex
 	pulls map[string]string // host -> pull URL
 
+	// catalog is the swappable §7 reference catalog (see catalog.go).
+	catalog atomic.Pointer[analysis.Catalog]
+
 	rejected   atomic.Int64
 	pullErrors atomic.Int64
 	recvBytes  atomic.Int64
@@ -176,6 +185,7 @@ func NewAggregator(cfg AggregatorConfig) *Aggregator {
 		g.shards[i] = newShard(i, g.cfg.Obs)
 	}
 	g.iomu = make([]sync.Mutex, g.cfg.Shards)
+	g.catalog.Store(cfg.Catalog)
 	return g
 }
 
@@ -821,6 +831,10 @@ func (g *Aggregator) LogStats() LogStats {
 //	                      ?from=&to= (RFC3339 or unix seconds/nanos) bound
 //	                      the window, ?vm=NAME narrows to one VM,
 //	                      ?view=vms returns every per-VM merge
+//	GET  /fleet/catalog   classify every fresh VM's merged view against
+//	                      the installed reference catalog; ?vm=NAME for
+//	                      one VM with its full ranking, ?include_stale=1
+//	                      to classify stale hosts' VMs too
 //	GET  /fleet/log       segment-log size and maintenance counters
 //	GET  /fleet/events    the pipeline event ring as JSON (requires
 //	                      AggregatorConfig.Obs); ?kind= and ?host=
@@ -865,6 +879,12 @@ func (g *Aggregator) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		g.serveHistory(w, r)
+	case "catalog":
+		if r.Method != http.MethodGet {
+			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)
+			return
+		}
+		g.serveCatalog(w, r)
 	case "log":
 		if r.Method != http.MethodGet {
 			fleetError(w, http.StatusMethodNotAllowed, "method not allowed", http.MethodGet)

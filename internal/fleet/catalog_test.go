@@ -1,0 +1,210 @@
+package fleet
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"vscsistats/internal/analysis"
+	"vscsistats/internal/core"
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/vscsi"
+)
+
+// feedShape drives n commands with a controlled shape — block size, read
+// mix and locality — so classification has distinct references to
+// separate.
+func feedShape(col *core.Collector, seed, n int, blocks uint32, read, random bool) {
+	lba := uint64(seed) * 4096
+	t := simclock.Time(seed) * simclock.Millisecond
+	for i := 0; i < n; i++ {
+		var cmd scsi.Command
+		if read {
+			cmd = scsi.Read(lba, blocks)
+		} else {
+			cmd = scsi.Write(lba, blocks)
+		}
+		r := &vscsi.Request{
+			Cmd:                cmd,
+			IssueTime:          t,
+			CompleteTime:       t + 300*simclock.Microsecond,
+			OutstandingAtIssue: i % 4,
+			Status:             scsi.StatusGood,
+		}
+		col.OnIssue(r)
+		col.OnComplete(r)
+		if random {
+			lba = uint64((i*2654435761 + seed*97)) % (1 << 20)
+		} else {
+			lba += uint64(blocks)
+		}
+		t += 100 * simclock.Microsecond
+	}
+}
+
+// shapedCollector builds one populated collector with the given shape.
+func shapedCollector(vm, disk string, seed, n int, blocks uint32, read, random bool) *core.Collector {
+	col := core.NewCollector(vm, disk)
+	col.Enable()
+	feedShape(col, seed, n, blocks, read, random)
+	return col
+}
+
+// testCatalog holds two well-separated references: small random reads vs
+// large sequential writes.
+func testCatalog(t *testing.T) *analysis.Catalog {
+	t.Helper()
+	cat, err := analysis.NewCatalog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("smallread", shapedCollector("ref", "d", 1, 500, 8, true, true).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Add("bigwrite", shapedCollector("ref", "d", 2, 500, 256, false, false).Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestCatalogEndpointClassifiesVMs pushes two hosts whose VMs carry the
+// two reference shapes (different seeds than the references) and checks
+// GET /fleet/catalog re-identifies every VM, counts the mix, and serves
+// the single-VM ranking.
+func TestCatalogEndpointClassifiesVMs(t *testing.T) {
+	agg, _ := newTestAggregator(time.Minute)
+	agg.SetCatalog(testCatalog(t))
+
+	regA := core.NewRegistry()
+	regA.Register(shapedCollector("vm-oltp", "scsi0:0", 7, 400, 8, true, true))
+	regA.Register(shapedCollector("vm-backup", "scsi0:0", 8, 400, 256, false, false))
+	regB := core.NewRegistry()
+	regB.Register(shapedCollector("vm-oltp2", "scsi0:0", 9, 400, 8, true, true))
+	idle := core.NewCollector("vm-idle", "scsi0:0")
+	idle.Enable()
+	regB.Register(idle)
+	if err := agg.Ingest(batchFor(regA, "esx-a", 1), "push"); err != nil {
+		t.Fatal(err)
+	}
+	if err := agg.Ingest(batchFor(regB, "esx-b", 1), "push"); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	var res CatalogResult
+	getJSON(t, srv.URL+"/fleet/catalog", &res)
+	if len(res.References) != 2 || res.References[0] != "smallread" || res.References[1] != "bigwrite" {
+		t.Fatalf("references = %v", res.References)
+	}
+	want := map[string]string{"vm-oltp": "smallread", "vm-oltp2": "smallread", "vm-backup": "bigwrite"}
+	if len(res.VMs) != len(want) {
+		t.Fatalf("classified %d VMs, want %d: %+v", len(res.VMs), len(want), res.VMs)
+	}
+	for _, v := range res.VMs {
+		if want[v.VM] != v.Personality {
+			t.Errorf("%s classified as %q (distance %.3f), want %q", v.VM, v.Personality, v.Distance, want[v.VM])
+		}
+		if v.Commands == 0 || len(v.Ranking) != 0 {
+			t.Errorf("%s: commands=%d ranking=%d (fleet-wide view must omit rankings)", v.VM, v.Commands, len(v.Ranking))
+		}
+	}
+	if res.Mix["smallread"] != 2 || res.Mix["bigwrite"] != 1 {
+		t.Errorf("mix = %v", res.Mix)
+	}
+	if res.Unclassified != 1 {
+		t.Errorf("unclassified = %d, want 1 (vm-idle has no I/O)", res.Unclassified)
+	}
+
+	var one CatalogVM
+	getJSON(t, srv.URL+"/fleet/catalog?vm=vm-backup", &one)
+	if one.Personality != "bigwrite" || len(one.Ranking) != 2 {
+		t.Fatalf("single-VM query: %+v", one)
+	}
+	if one.Ranking[0].Score > one.Ranking[1].Score {
+		t.Error("ranking not sorted best-first")
+	}
+	if len(one.Ranking[0].Components) == 0 {
+		t.Error("single-VM ranking missing per-metric components")
+	}
+}
+
+// TestCatalogEndpointGuards covers the no-catalog 404, the unknown-VM
+// 404, the method guard, and live catalog replacement.
+func TestCatalogEndpointGuards(t *testing.T) {
+	agg, _ := newTestAggregator(time.Minute)
+	srv := httptest.NewServer(agg)
+	defer srv.Close()
+
+	if code := getCode(t, srv.URL+"/fleet/catalog"); code != 404 {
+		t.Fatalf("no catalog: %d, want 404", code)
+	}
+	if agg.ClassifyVMs(false) != nil {
+		t.Fatal("ClassifyVMs without a catalog must return nil")
+	}
+
+	agg.SetCatalog(testCatalog(t))
+	reg := core.NewRegistry()
+	reg.Register(shapedCollector("vm-x", "scsi0:0", 3, 200, 8, true, true))
+	if err := agg.Ingest(batchFor(reg, "esx-a", 1), "push"); err != nil {
+		t.Fatal(err)
+	}
+	if code := getCode(t, srv.URL+"/fleet/catalog"); code != 200 {
+		t.Fatalf("after SetCatalog: %d, want 200", code)
+	}
+	if code := getCode(t, srv.URL+"/fleet/catalog?vm=nope"); code != 404 {
+		t.Fatalf("unknown vm: %d, want 404", code)
+	}
+	resp, err := srv.Client().Post(srv.URL+"/fleet/catalog", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 || resp.Header.Get("Allow") != "GET" {
+		t.Fatalf("POST: %d Allow=%q, want 405 Allow=GET", resp.StatusCode, resp.Header.Get("Allow"))
+	}
+
+	agg.SetCatalog(nil)
+	if code := getCode(t, srv.URL+"/fleet/catalog"); code != 404 {
+		t.Fatalf("after SetCatalog(nil): %d, want 404", code)
+	}
+}
+
+// TestCatalogStaleHosts checks staleness semantics: a stale host's VMs
+// drop out of the default classification and fold back with
+// ?include_stale=1.
+func TestCatalogStaleHosts(t *testing.T) {
+	agg, clk := newTestAggregator(10 * time.Second)
+	agg.SetCatalog(testCatalog(t))
+	regA := core.NewRegistry()
+	regA.Register(shapedCollector("vm-a", "scsi0:0", 5, 200, 8, true, true))
+	regB := core.NewRegistry()
+	regB.Register(shapedCollector("vm-b", "scsi0:0", 6, 200, 256, false, false))
+	agg.Ingest(batchFor(regA, "esx-a", 1), "push")
+	clk.advance(8 * time.Second)
+	agg.Ingest(batchFor(regB, "esx-b", 1), "push")
+	clk.advance(5 * time.Second) // esx-a now stale, esx-b fresh
+
+	fresh := agg.ClassifyVMs(false)
+	if len(fresh.VMs) != 1 || fresh.VMs[0].VM != "vm-b" {
+		t.Fatalf("fresh classification: %+v", fresh.VMs)
+	}
+	all := agg.ClassifyVMs(true)
+	if len(all.VMs) != 2 {
+		t.Fatalf("include_stale classification: %+v", all.VMs)
+	}
+}
+
+// getCode fetches url and returns only the status code.
+func getCode(t *testing.T, url string) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}

@@ -37,6 +37,7 @@ type Exporter struct {
 	disks    DiskStatsSource
 	fleet    FleetSource
 	fleetObs FleetObsSource
+	sim      SimSource
 	scrapes  atomic.Int64
 	// lastScrapeNs records the duration of the most recent scrape.
 	lastScrapeNs atomic.Int64
@@ -112,6 +113,7 @@ func (e *Exporter) Write(w io.Writer) error {
 	e.writeSelf(p, rows)
 	e.writeFleet(p)
 	e.writeFleetObs(p)
+	e.writeSim(p)
 
 	p.family("vscsistats_collectors", "gauge", "Collectors registered in the control plane.")
 	p.sample("vscsistats_collectors", "", strconv.Itoa(len(rows)))

@@ -1,0 +1,69 @@
+package telemetry
+
+import "strconv"
+
+// SimWorld is a datacenter simulator's size and pacing, as exported on
+// /metrics. vscsim.Sim implements SimSource; the indirection keeps this
+// package free of a vscsim dependency (mirroring FleetSource).
+type SimWorld struct {
+	// Hosts, VMs and Disks size the simulated inventory.
+	Hosts, VMs, Disks int
+	// VirtualSeconds is the fleet-wide virtual horizon (the slowest
+	// host's virtual clock), WallSeconds the wall time spent running, and
+	// Speed their ratio — the achieved pacing multiplier.
+	VirtualSeconds, WallSeconds, Speed float64
+	// Ops, Bytes and Errors total completed simulated guest commands;
+	// Throttled counts arrivals skipped at outstanding-I/O caps.
+	Ops, Bytes, Errors, Throttled int64
+	// Pushes and PushErrors sum the simulated hosts' agent counters.
+	Pushes, PushErrors int64
+}
+
+// SimSource reports a running simulation's world state.
+type SimSource interface {
+	SimWorld() SimWorld
+}
+
+// WithSim attaches a datacenter simulator and returns the exporter.
+// Scrapes then include the vscsistats_vscsim_* series: inventory size,
+// virtual/wall pacing, simulated command totals and agent push health.
+func (e *Exporter) WithSim(src SimSource) *Exporter {
+	e.sim = src
+	return e
+}
+
+func (e *Exporter) writeSim(p *promWriter) {
+	if e.sim == nil {
+		return
+	}
+	w := e.sim.SimWorld()
+	gauges := []struct {
+		name, help, value string
+	}{
+		{"vscsistats_vscsim_hosts", "Simulated hosts in the inventory.", strconv.Itoa(w.Hosts)},
+		{"vscsistats_vscsim_vms", "Simulated VMs in the inventory.", strconv.Itoa(w.VMs)},
+		{"vscsistats_vscsim_disks", "Simulated virtual disks in the inventory.", strconv.Itoa(w.Disks)},
+		{"vscsistats_vscsim_virtual_seconds", "Fleet-wide virtual horizon (the slowest host's clock).", formatFloat(w.VirtualSeconds)},
+		{"vscsistats_vscsim_wall_seconds", "Wall time spent in wall-paced execution.", formatFloat(w.WallSeconds)},
+		{"vscsistats_vscsim_speed", "Achieved pacing multiplier: virtual seconds per wall second.", formatFloat(w.Speed)},
+	}
+	for _, g := range gauges {
+		p.family(g.name, "gauge", g.help)
+		p.sample(g.name, "", g.value)
+	}
+	counters := []struct {
+		name, help string
+		value      int64
+	}{
+		{"vscsistats_vscsim_ops_total", "Completed simulated guest commands.", w.Ops},
+		{"vscsistats_vscsim_bytes_total", "Bytes moved by completed simulated commands.", w.Bytes},
+		{"vscsistats_vscsim_errors_total", "Simulated commands completed with a status other than GOOD.", w.Errors},
+		{"vscsistats_vscsim_throttled_total", "Arrivals skipped at a generator's outstanding-I/O cap.", w.Throttled},
+		{"vscsistats_vscsim_pushes_total", "Batches the simulated hosts' agents delivered.", w.Pushes},
+		{"vscsistats_vscsim_push_errors_total", "Failed delivery attempts across the simulated agents.", w.PushErrors},
+	}
+	for _, c := range counters {
+		p.family(c.name, "counter", c.help)
+		p.sample(c.name, "", strconv.FormatInt(c.value, 10))
+	}
+}

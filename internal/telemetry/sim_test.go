@@ -1,0 +1,63 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"vscsistats/internal/core"
+)
+
+// simSourceFunc adapts a function to SimSource for tests.
+type simSourceFunc func() SimWorld
+
+func (f simSourceFunc) SimWorld() SimWorld { return f() }
+
+// TestMetricsSimSeries runs the exposition with a simulator attached
+// through the strict parser and checks every vscsistats_vscsim_* series
+// carries the world state verbatim.
+func TestMetricsSimSeries(t *testing.T) {
+	world := SimWorld{
+		Hosts: 1000, VMs: 8000, Disks: 9000,
+		VirtualSeconds: 1200, WallSeconds: 12, Speed: 100,
+		Ops: 123456, Bytes: 1 << 30, Errors: 7, Throttled: 42,
+		Pushes: 4000, PushErrors: 3,
+	}
+	exp := NewExporter(core.NewRegistry()).WithSim(simSourceFunc(func() SimWorld { return world }))
+	var sb strings.Builder
+	if err := exp.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	samples := parseProm(t, sb.String())
+	want := map[string]float64{
+		"vscsistats_vscsim_hosts":             1000,
+		"vscsistats_vscsim_vms":               8000,
+		"vscsistats_vscsim_disks":             9000,
+		"vscsistats_vscsim_virtual_seconds":   1200,
+		"vscsistats_vscsim_wall_seconds":      12,
+		"vscsistats_vscsim_speed":             100,
+		"vscsistats_vscsim_ops_total":         123456,
+		"vscsistats_vscsim_bytes_total":       1 << 30,
+		"vscsistats_vscsim_errors_total":      7,
+		"vscsistats_vscsim_throttled_total":   42,
+		"vscsistats_vscsim_pushes_total":      4000,
+		"vscsistats_vscsim_push_errors_total": 3,
+	}
+	for name, v := range want {
+		if s := findSample(t, samples, name); s.value != v {
+			t.Errorf("%s = %v, want %v", name, s.value, v)
+		}
+	}
+}
+
+// TestMetricsSimAbsent: without WithSim no vscsim series leak into the
+// exposition.
+func TestMetricsSimAbsent(t *testing.T) {
+	exp := NewExporter(core.NewRegistry())
+	var sb strings.Builder
+	if err := exp.Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "vscsim") {
+		t.Error("exposition mentions vscsim without a simulator attached")
+	}
+}

@@ -1,0 +1,64 @@
+package vscsim
+
+import (
+	"fmt"
+	"time"
+
+	"vscsistats/internal/analysis"
+	"vscsistats/internal/workload"
+)
+
+// Reference-run shape: each personality drives one disk at a fixed
+// intensity for a fixed virtual duration. The classification metrics
+// (§3.7: I/O length, seek distance, outstanding I/Os, read fraction) are
+// rate-independent enough that one reference intensity covers the whole
+// heavy-tailed probe range; ten virtual minutes gives even the near-idle
+// devbox personality a few hundred samples.
+const (
+	refIntensity = 10
+	refDuration  = 10 * time.Minute
+)
+
+// ReferenceCatalog builds an analysis catalog with one reference snapshot
+// per personality in the population, each produced by a short
+// deterministic single-VM simulation seeded from seed. An aggregator
+// given this catalog can classify its merged per-VM views back to the
+// personalities that generated them — the paper's §7 automatic
+// categorization at fleet scope.
+func ReferenceCatalog(seed int64, personalities ...workload.FleetPersonality) (*analysis.Catalog, error) {
+	if len(personalities) == 0 {
+		personalities = workload.FleetPersonalities()
+	}
+	cat, err := analysis.NewCatalog()
+	if err != nil {
+		return nil, err
+	}
+	for i, fp := range personalities {
+		inv := NewInventory(Config{
+			Seed:          deriveSeed(seed, uint64(i)),
+			Hosts:         1,
+			VMsPerHost:    1,
+			DisksPerVM:    1,
+			Intensity:     refIntensity,
+			Personalities: []workload.FleetPersonality{fp},
+		})
+		// A single-personality population pins the draw; the intensity
+		// draw still varies, so pin it too.
+		inv.Hosts[0].VMs[0].Intensity = refIntensity
+		sim, err := New(inv, SimConfig{Workers: 1})
+		if err != nil {
+			return nil, fmt.Errorf("vscsim: reference %q: %w", fp.Name, err)
+		}
+		if err := sim.RunVirtual(refDuration); err != nil {
+			return nil, err
+		}
+		snaps := sim.hosts[0].host.Registry().Snapshots()
+		if len(snaps) != 1 {
+			return nil, fmt.Errorf("vscsim: reference %q produced %d snapshots", fp.Name, len(snaps))
+		}
+		if err := cat.Add(fp.Name, snaps[0]); err != nil {
+			return nil, fmt.Errorf("vscsim: reference %q: %w", fp.Name, err)
+		}
+	}
+	return cat, nil
+}

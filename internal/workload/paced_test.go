@@ -1,0 +1,120 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/simclock"
+)
+
+func TestPacedDeterministic(t *testing.T) {
+	run := func() *core.Snapshot {
+		r := newWLRig(t, 2*simclock.Millisecond, 1<<21)
+		p := NewPaced(r.eng, r.disk, PacedSpec{
+			Name: "det", BlockBytes: 8 << 10, ReadPct: 70, RandomPct: 100,
+			IOPS: 200, Burst: 2, Seed: 42,
+		})
+		p.Start()
+		r.eng.RunUntil(20 * simclock.Second)
+		p.Stop()
+		r.eng.Run()
+		return r.col.Snapshot()
+	}
+	a, b := run(), run()
+	if !a.StateEquals(b) {
+		t.Fatal("same seed produced different collector state")
+	}
+	if a.Commands == 0 {
+		t.Fatal("no commands observed")
+	}
+}
+
+func TestPacedRateAndMix(t *testing.T) {
+	r := newWLRig(t, simclock.Millisecond, 1<<21)
+	const iops, secs = 500.0, 40
+	p := NewPaced(r.eng, r.disk, PacedSpec{
+		Name: "rate", BlockBytes: 4 << 10, ReadPct: 25, RandomPct: 100,
+		IOPS: iops, Seed: 7,
+	})
+	p.Start()
+	r.eng.RunUntil(secs * simclock.Second)
+	p.Stop()
+	r.eng.Run()
+	s := r.col.Snapshot()
+	// Poisson arrivals: expect iops*secs ± a generous 10%.
+	want := float64(iops * secs)
+	if got := float64(s.Commands); math.Abs(got-want) > want/10 {
+		t.Fatalf("issued %v commands, want ~%v", got, want)
+	}
+	if rf := s.ReadFraction(); math.Abs(rf-0.25) > 0.05 {
+		t.Fatalf("read fraction %.3f, want ~0.25", rf)
+	}
+	if p.Throttled() != 0 {
+		t.Fatalf("throttled %d arrivals at IOPS well under the default cap", p.Throttled())
+	}
+}
+
+func TestPacedOutstandingCap(t *testing.T) {
+	// 1000 bursts/s of 8 commands against a 50ms device wants ~400
+	// outstanding; the cap of 16 must hold and skipped arrivals must count.
+	r := newWLRig(t, 50*simclock.Millisecond, 1<<21)
+	p := NewPaced(r.eng, r.disk, PacedSpec{
+		Name: "cap", BlockBytes: 4 << 10, ReadPct: 100, RandomPct: 100,
+		IOPS: 1000, Burst: 8, MaxOutstanding: 16, Seed: 3,
+	})
+	maxSeen := 0
+	p.Start()
+	for r.eng.Now() < 2*simclock.Second {
+		if !r.eng.Step() {
+			break
+		}
+		if n := r.disk.Inflight(); n > maxSeen {
+			maxSeen = n
+		}
+	}
+	p.Stop()
+	r.eng.Run()
+	if maxSeen > 16 {
+		t.Fatalf("inflight reached %d, cap is 16", maxSeen)
+	}
+	if p.Throttled() == 0 {
+		t.Fatal("expected throttled arrivals under a saturating spec")
+	}
+	if p.Stats().Ops == 0 {
+		t.Fatal("no completions at all")
+	}
+}
+
+func TestFleetPersonalitiesWellFormed(t *testing.T) {
+	ps := FleetPersonalities()
+	if len(ps) < 5 {
+		t.Fatalf("only %d personalities", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, fp := range ps {
+		if seen[fp.Name] {
+			t.Fatalf("duplicate personality %q", fp.Name)
+		}
+		seen[fp.Name] = true
+		if fp.Weight <= 0 || fp.BaseIOPS <= 0 || fp.BlockBytes%512 != 0 {
+			t.Fatalf("personality %q ill-formed: %+v", fp.Name, fp)
+		}
+		// The spec must instantiate and drive a disk without panicking.
+		r := newWLRig(t, 2*simclock.Millisecond, 1<<21)
+		p := NewPaced(r.eng, r.disk, fp.PacedSpec(11, 100))
+		p.Start()
+		r.eng.RunUntil(10 * simclock.Second)
+		p.Stop()
+		r.eng.Run()
+		if r.col.Snapshot().Commands == 0 {
+			t.Fatalf("personality %q issued nothing in 10s at intensity 100", fp.Name)
+		}
+	}
+	if _, ok := FleetPersonalityByName("oltp"); !ok {
+		t.Fatal("oltp missing from the built-in population")
+	}
+	if _, ok := FleetPersonalityByName("nope"); ok {
+		t.Fatal("unknown personality resolved")
+	}
+}

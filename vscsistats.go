@@ -53,6 +53,7 @@ import (
 	"vscsistats/internal/telemetry"
 	"vscsistats/internal/trace"
 	"vscsistats/internal/vscsi"
+	"vscsistats/internal/vscsim"
 	"vscsistats/internal/workload"
 )
 
@@ -440,6 +441,8 @@ type (
 	FleetLogStats         = fleet.LogStats
 	FleetReplayStats      = fleet.ReplayStats
 	FleetHistoryResult    = fleet.HistoryResult
+	FleetCatalogResult    = fleet.CatalogResult
+	FleetCatalogVM        = fleet.CatalogVM
 	SnapshotBatch         = fleet.Batch
 )
 
@@ -517,6 +520,60 @@ type (
 // 1024-event ring, a top-64 slow ring and 1-in-64 hot-path sampling.
 func NewFleetObsTracker(cfg FleetObsConfig) *FleetObsTracker {
 	return fleetobs.New(cfg)
+}
+
+// --- Datacenter simulation (internal/vscsim) ---
+
+// SimInventory is a deterministic synthetic datacenter generated from a
+// single seed: hosts × VMs × disks, each VM assigned a workload
+// personality from the fleet population with heavy-tailed intensity.
+// DatacenterSim runs every host in the inventory as its own wall-paced
+// simulated world — engine, hypervisor, open-loop generators and a real
+// fleet agent — multiplexed across worker goroutines in one process, so
+// a thousand and more hosts exercise a real sharded aggregator.
+// FleetPersonality is one named class in the workload population.
+type (
+	SimInventory        = vscsim.Inventory
+	SimInventoryConfig  = vscsim.Config
+	SimHostSpec         = vscsim.HostSpec
+	SimVMSpec           = vscsim.VMSpec
+	DatacenterSim       = vscsim.Sim
+	DatacenterSimConfig = vscsim.SimConfig
+	DatacenterSimStats  = vscsim.SimStats
+	FleetPersonality    = workload.FleetPersonality
+	PacedSpec           = workload.PacedSpec
+	PacedGenerator      = workload.Paced
+)
+
+// ErrSimRunning rejects deterministic sim operations (RunVirtual,
+// PushAll) while wall-paced execution owns the host engines.
+var ErrSimRunning = vscsim.ErrRunning
+
+// NewSimInventory generates the synthetic datacenter described by cfg —
+// a pure function of cfg.Seed.
+func NewSimInventory(cfg SimInventoryConfig) *SimInventory { return vscsim.NewInventory(cfg) }
+
+// NewDatacenterSim builds every host world in the inventory; Start runs
+// them wall-paced at cfg.Speed, RunVirtual advances them deterministically.
+func NewDatacenterSim(inv *SimInventory, cfg DatacenterSimConfig) (*DatacenterSim, error) {
+	return vscsim.New(inv, cfg)
+}
+
+// SimReferenceCatalog builds a §7 classification catalog with one
+// reference snapshot per personality, each from a short deterministic
+// single-VM simulation — install it on an aggregator (SetCatalog) to
+// serve GET /fleet/catalog.
+func SimReferenceCatalog(seed int64, personalities ...FleetPersonality) (*WorkloadCatalog, error) {
+	return vscsim.ReferenceCatalog(seed, personalities...)
+}
+
+// FleetPersonalities returns the built-in datacenter workload population.
+func FleetPersonalities() []FleetPersonality { return workload.FleetPersonalities() }
+
+// NewPacedGenerator builds the open-loop Poisson-arrival generator the
+// simulator drives each virtual disk with.
+func NewPacedGenerator(eng *Engine, disk *Disk, spec PacedSpec) *PacedGenerator {
+	return workload.NewPaced(eng, disk, spec)
 }
 
 // --- Tracing and offline analysis ---
