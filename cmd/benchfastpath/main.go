@@ -9,8 +9,10 @@
 //     256/1024 simulated hosts against the monolithic single-mutex
 //     configuration, full vs delta wire bytes per push interval, cached
 //     vs uncached cluster merges, segment-log boot replay at 1024 hosts,
-//     whole-fleet history window queries, and simulated-datacenter ingest
-//     (256 vscsim hosts' full state through the wire codec per op).
+//     whole-fleet history window queries, simulated-datacenter ingest
+//     (256 vscsim hosts' full state through the wire codec per op), and
+//     the 10240-host federation tree vs flat fan-in (global-tier wire
+//     bytes and churn-interval cost, tree re-export vs per-host push).
 //
 // It shells out to `go test -bench`, takes the minimum over -count runs
 // (min-of-N discards scheduler noise; the floor is the honest cost), and
@@ -22,8 +24,9 @@
 //	go run ./cmd/benchfastpath -check                  # CI regression fence
 //	go run ./cmd/benchfastpath -check -fleet           # CI fence, fleet ingest
 //
-// -check re-measures the fence benchmarks only (BenchmarkTable2StatsOn, or
-// BenchmarkFleetIngest1024 plus BenchmarkFleetReplay1024 with -fleet) and
+// -check re-measures the fence benchmarks only (BenchmarkTable2StatsOn,
+// or BenchmarkFleetIngest1024, BenchmarkFleetReplay1024 and
+// BenchmarkFleetTreeIngest10k with -fleet) and
 // fails (exit 1) if any regressed more than -tolerance percent over the
 // entry named by -against, so CI catches regressions without re-running
 // the full suite. With -fleet it also measures the traced-ingest variant
@@ -90,6 +93,7 @@ var fleetSuite = []benchSpec{
 	{"./internal/fleet", "^BenchmarkFleetMerge(Cached|Uncached)$", nil},
 	{"./internal/fleet", "^BenchmarkFleetReplay1024$|^BenchmarkFleetHistoryQuery$", nil},
 	{"./internal/vscsim", "^BenchmarkSimPushAll256$", nil},
+	{"./internal/vscsim", "^BenchmarkFleet(Tree|Flat)Ingest10k$", nil},
 }
 
 func main() {
@@ -106,18 +110,24 @@ func main() {
 	)
 	flag.Parse()
 
-	benches, fences, fencePkg := suite, []string{"BenchmarkTable2StatsOn"}, "."
+	benches, fences := suite, []fence{{"BenchmarkTable2StatsOn", "."}}
 	var relFences []relFence
 	if *fleet {
-		// Two fleet fences: the ingest fast path and the boot replay the
-		// segment log added — a slow restart is a regression too. Plus one
-		// relative fence: traced ingest must stay within 5% of untraced,
-		// both measured fresh in this session.
-		benches, fencePkg = fleetSuite, "./internal/fleet"
-		fences = []string{"BenchmarkFleetIngest1024", "BenchmarkFleetReplay1024"}
+		// Three fleet fences: the ingest fast path, the boot replay the
+		// segment log added — a slow restart is a regression too — and the
+		// 10k-host federation tree's churn interval. Plus one relative
+		// fence: traced ingest must stay within 5% of untraced, both
+		// measured fresh in this session.
+		benches = fleetSuite
+		fences = []fence{
+			{"BenchmarkFleetIngest1024", "./internal/fleet"},
+			{"BenchmarkFleetReplay1024", "./internal/fleet"},
+			{"BenchmarkFleetTreeIngest10k", "./internal/vscsim"},
+		}
 		relFences = []relFence{{
 			bench:   "BenchmarkFleetIngest1024Traced",
 			against: "BenchmarkFleetIngest1024",
+			pkg:     "./internal/fleet",
 			maxPct:  5,
 		}}
 	}
@@ -129,7 +139,7 @@ func main() {
 	}
 
 	if *check {
-		os.Exit(runCheck(*file, *against, fences, relFences, fencePkg, *count, *benchtime, *tolerance))
+		os.Exit(runCheck(*file, *against, fences, relFences, *count, *benchtime, *tolerance))
 	}
 
 	results := make(map[string]float64)
@@ -300,20 +310,29 @@ func record(path, note string, entry benchEntry) error {
 	return os.WriteFile(path, append(raw, '\n'), 0o644)
 }
 
+// fence is one absolute regression fence: a benchmark name and the
+// package it lives in. Fences span packages (the federation tree bench
+// sits in internal/vscsim, the ingest fences in internal/fleet), so
+// runCheck groups them by package and runs one `go test -bench` each.
+type fence struct {
+	name, pkg string
+}
+
 // relFence is a same-session comparison: bench must run within maxPct of
 // against, both measured fresh in this runCheck — no recorded entry, so
 // machine-speed differences cancel out. Used for the traced-ingest
-// observability overhead bound.
+// observability overhead bound. Both benchmarks must live in pkg.
 type relFence struct {
 	bench, against string
+	pkg            string
 	maxPct         float64
 }
 
-// runCheck is the CI fence: measure the fence benchmarks fresh in one
-// `go test -bench` run, compare each against the recorded entry (and each
-// relative fence against its in-session reference), and report pass/fail
-// for the set.
-func runCheck(path, against string, fences []string, relFences []relFence, fencePkg string, count int, benchtime string, tolerance float64) int {
+// runCheck is the CI fence: measure the fence benchmarks fresh (one
+// `go test -bench` run per package), compare each against the recorded
+// entry (and each relative fence against its in-session reference), and
+// report pass/fail for the set.
+func runCheck(path, against string, fences []fence, relFences []relFence, count int, benchtime string, tolerance float64) int {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchfastpath: %v\n", err)
@@ -327,39 +346,59 @@ func runCheck(path, against string, fences []string, relFences []relFence, fence
 	refs := make(map[string]float64, len(fences))
 	for _, e := range f.Entries {
 		if e.Label == against {
-			for _, fence := range fences {
-				refs[fence] = e.NsPerOp[fence]
+			for _, fc := range fences {
+				refs[fc.name] = e.NsPerOp[fc.name]
 			}
 		}
 	}
-	for _, fence := range fences {
-		if refs[fence] == 0 {
-			fmt.Fprintf(os.Stderr, "benchfastpath: no %s under entry %q in %s\n", fence, against, path)
+	for _, fc := range fences {
+		if refs[fc.name] == 0 {
+			fmt.Fprintf(os.Stderr, "benchfastpath: no %s under entry %q in %s\n", fc.name, against, path)
 			return 1
 		}
 	}
-	measure := append([]string{}, fences...)
+	// One `go test -bench` per package, covering that package's fences
+	// and relative-fence benchmarks together.
+	perPkg := make(map[string][]string)
+	pkgs := []string{}
+	add := func(pkg, bench string) {
+		if _, seen := perPkg[pkg]; !seen {
+			pkgs = append(pkgs, pkg)
+		}
+		for _, have := range perPkg[pkg] {
+			if have == bench {
+				return
+			}
+		}
+		perPkg[pkg] = append(perPkg[pkg], bench)
+	}
+	for _, fc := range fences {
+		add(fc.pkg, fc.name)
+	}
 	for _, r := range relFences {
-		measure = append(measure, r.bench)
+		add(r.pkg, r.bench)
+		add(r.pkg, r.against)
 	}
 	results := make(map[string]float64)
-	if err := runBench(fencePkg, "^("+strings.Join(measure, "|")+")$", count, benchtime, nil, results); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 1
-	}
-	failed := 0
-	for _, fence := range fences {
-		got, ok := results[fence]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "benchfastpath: %s produced no result\n", fence)
+	for _, pkg := range pkgs {
+		if err := runBench(pkg, "^("+strings.Join(perPkg[pkg], "|")+")$", count, benchtime, nil, results); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			return 1
 		}
-		ref := refs[fence]
+	}
+	failed := 0
+	for _, fc := range fences {
+		got, ok := results[fc.name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchfastpath: %s produced no result\n", fc.name)
+			return 1
+		}
+		ref := refs[fc.name]
 		limit := ref * (1 + tolerance/100)
 		fmt.Printf("%s: %.2f ns/op, %s %q: %.2f ns/op, limit +%.0f%%: %.2f ns/op\n",
-			strings.TrimPrefix(fence, "Benchmark"), got, path, against, ref, tolerance, limit)
+			strings.TrimPrefix(fc.name, "Benchmark"), got, path, against, ref, tolerance, limit)
 		if got > limit {
-			fmt.Printf("FAIL: %s regressed %.1f%% over %q\n", strings.TrimPrefix(fence, "Benchmark"), (got/ref-1)*100, against)
+			fmt.Printf("FAIL: %s regressed %.1f%% over %q\n", strings.TrimPrefix(fc.name, "Benchmark"), (got/ref-1)*100, against)
 			failed++
 		}
 	}

@@ -40,17 +40,87 @@ func (c *ctl) cmdHosts(args []string) error {
 		return err
 	}
 	tw := c.table()
-	fmt.Fprintln(tw, "HOST\tSOURCE\tSEQ\tBATCHES\tDISKS\tAGE\tSTALE")
-	stale := 0
+	fmt.Fprintln(tw, "HOST\tSOURCE\tLVL\tLEAVES\tSEQ\tBATCHES\tDISKS\tAGE\tSTALE")
+	stale, leaves := 0, 0
 	for _, h := range hosts {
 		if h.Stale {
 			stale++
+		} else {
+			leaves += h.Leaves
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%s\t%v\n",
-			h.Host, h.Source, h.Seq, h.Batches, h.Snapshots, fmtAge(h.AgeSeconds), h.Stale)
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\t%s\t%v\n",
+			h.Host, h.Source, h.Level, h.Leaves, h.Seq, h.Batches, h.Snapshots, fmtAge(h.AgeSeconds), h.Stale)
 	}
 	tw.Flush()
-	fmt.Fprintf(c.out, "%d hosts (%d stale)\n", len(hosts), stale)
+	fmt.Fprintf(c.out, "%d hosts (%d stale), %d leaves folded\n", len(hosts), stale, leaves)
+	return nil
+}
+
+// --- shards ---
+
+func (c *ctl) cmdShards(args []string) error {
+	fs := c.newFlags("shards")
+	host := fs.String("host", "", "probe which shard this host name routes to instead of listing all shards")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *host != "" {
+		var probe struct {
+			Host   string `json:"host"`
+			Shard  int    `json:"shard"`
+			Shards int    `json:"shards"`
+		}
+		if done, err := c.getJSON("/fleet/shards?host="+url.QueryEscape(*host), &probe); done || err != nil {
+			return err
+		}
+		fmt.Fprintf(c.out, "%s routes to shard %d of %d\n", probe.Host, probe.Shard, probe.Shards)
+		return nil
+	}
+	var shards []fleet.ShardStatus
+	if done, err := c.getJSON("/fleet/shards", &shards); done || err != nil {
+		return err
+	}
+	tw := c.table()
+	fmt.Fprintln(tw, "SHARD\tHOSTS\tSTALE\tBATCHES\tDELTAS\tDUPES\tRESYNCS\tCACHE-HITS\tCACHE-MISSES")
+	var hosts, stale int
+	var batches int64
+	for _, s := range shards {
+		hosts += s.Hosts
+		stale += s.StaleHosts
+		batches += s.Batches
+		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\t%d\n",
+			s.Shard, s.Hosts, s.StaleHosts, s.Batches, s.DeltasApplied, s.Duplicates,
+			s.Resyncs, s.MergeCacheHits, s.MergeCacheMisses)
+	}
+	tw.Flush()
+	fmt.Fprintf(c.out, "%d shards: %d hosts (%d stale), %d batches\n", len(shards), hosts, stale, batches)
+	return nil
+}
+
+// --- log ---
+
+func (c *ctl) cmdLog(args []string) error {
+	fs := c.newFlags("log")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var st fleet.LogStats
+	if done, err := c.getJSON("/fleet/log", &st); done || err != nil {
+		return err
+	}
+	if !st.Enabled {
+		fmt.Fprintln(c.out, "segment log disabled (memory-only aggregator)")
+		return nil
+	}
+	tw := c.table()
+	fmt.Fprintf(tw, "segments\t%d (%s)\n", st.Segments, fmtBytes(st.Bytes))
+	fmt.Fprintf(tw, "appends\t%d (%s, %d errors)\n", st.Appends, fmtBytes(st.AppendBytes), st.AppendErrors)
+	fmt.Fprintf(tw, "fsyncs\t%d\n", st.Fsyncs)
+	fmt.Fprintf(tw, "rotations\t%d\n", st.Rotations)
+	fmt.Fprintf(tw, "compactions\t%d\n", st.Compactions)
+	fmt.Fprintf(tw, "retired\t%d segments\n", st.SegmentsRetired)
+	fmt.Fprintf(tw, "boot replay\t%d frames (%d torn tails)\n", st.FramesReplayed, st.TornTails)
+	tw.Flush()
 	return nil
 }
 

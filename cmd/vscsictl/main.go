@@ -3,7 +3,10 @@
 // the aggregator's /fleet HTTP API, rendered as aligned tables for humans
 // or raw JSON (-json) for scripts:
 //
-//	vscsictl -server http://aggr:9108 hosts          # per-host liveness
+//	vscsictl -server http://aggr:9108 hosts          # per-host liveness + tier
+//	vscsictl shards                                  # per-shard ingest health
+//	vscsictl shards -host esx-0001                   # where does a host route
+//	vscsictl log                                     # segment-log counters
 //	vscsictl vms                                     # merged per-VM views
 //	vscsictl snapshot                                # cluster-wide merge
 //	vscsictl snapshot -vm esx-0001-vm01              # one VM's merge
@@ -48,11 +51,13 @@ type ctl struct {
 var commands = []struct {
 	name, help string
 }{
-	{"hosts", "list every known host with liveness"},
+	{"hosts", "list every known host with liveness and tier level"},
+	{"shards", "per-shard ingest and merge-cache health (-host probes routing)"},
 	{"vms", "list the merged per-VM views"},
 	{"snapshot", "show the cluster-wide merge (or -vm NAME)"},
 	{"history", "windowed merge over the segment log (-from, -to)"},
 	{"catalog", "classify VMs against the reference catalog"},
+	{"log", "segment-log persistence counters"},
 	{"events", "dump the pipeline event ring"},
 	{"watch", "poll fleet status until interrupted"},
 }
@@ -91,6 +96,10 @@ func run(args []string, out, errw io.Writer) int {
 	switch cmd, cmdArgs := rest[0], rest[1:]; cmd {
 	case "hosts":
 		err = c.cmdHosts(cmdArgs)
+	case "shards":
+		err = c.cmdShards(cmdArgs)
+	case "log":
+		err = c.cmdLog(cmdArgs)
 	case "vms":
 		err = c.cmdVMs(cmdArgs)
 	case "snapshot":

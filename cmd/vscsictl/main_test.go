@@ -73,7 +73,7 @@ func TestVscsictl(t *testing.T) {
 
 	t.Run("hosts", func(t *testing.T) {
 		out := mustRun(t, srv, "hosts")
-		for _, want := range []string{"HOST", "esx-0001", "esx-0004", "push", "4 hosts (0 stale)"} {
+		for _, want := range []string{"HOST", "LVL", "LEAVES", "esx-0001", "esx-0004", "push", "4 hosts (0 stale), 4 leaves folded"} {
 			if !strings.Contains(out, want) {
 				t.Errorf("hosts output missing %q:\n%s", want, out)
 			}
@@ -84,6 +84,46 @@ func TestVscsictl(t *testing.T) {
 		}
 		if len(hosts) != 4 || hosts[0].Host != "esx-0001" || hosts[0].Snapshots == 0 {
 			t.Fatalf("hosts -json: %+v", hosts)
+		}
+	})
+
+	t.Run("shards", func(t *testing.T) {
+		out := mustRun(t, srv, "shards")
+		for _, want := range []string{"SHARD", "DELTAS", "CACHE-HITS", "16 shards: 4 hosts (0 stale)"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("shards output missing %q:\n%s", want, out)
+			}
+		}
+		var shards []fleet.ShardStatus
+		if err := json.Unmarshal([]byte(mustRun(t, srv, "-json", "shards")), &shards); err != nil {
+			t.Fatal(err)
+		}
+		hosts := 0
+		for _, s := range shards {
+			hosts += s.Hosts
+		}
+		if len(shards) != 16 || hosts != 4 {
+			t.Fatalf("shards -json: %d shards, %d hosts", len(shards), hosts)
+		}
+		out = mustRun(t, srv, "shards", "-host", "esx-0001")
+		if !strings.Contains(out, "esx-0001 routes to shard") {
+			t.Errorf("shards -host output:\n%s", out)
+		}
+	})
+
+	t.Run("log", func(t *testing.T) {
+		out := mustRun(t, srv, "log")
+		for _, want := range []string{"segments", "appends", "boot replay"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("log output missing %q:\n%s", want, out)
+			}
+		}
+		var st fleet.LogStats
+		if err := json.Unmarshal([]byte(mustRun(t, srv, "-json", "log")), &st); err != nil {
+			t.Fatal(err)
+		}
+		if !st.Enabled || st.Appends == 0 {
+			t.Fatalf("log -json: %+v", st)
 		}
 	})
 

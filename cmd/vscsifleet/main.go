@@ -10,6 +10,15 @@
 //	vscsifleet -mode aggregator -listen :9108 -stale 6s \
 //	    -data-dir /var/lib/vscsifleet -retention 24h
 //
+// Federation — a mid-tier aggregator re-exports its merged state to a
+// parent through the same push protocol it ingests, so trees compose to
+// any depth (agents → region → global). The default renders the region
+// as one synthetic upstream host whose deltas carry only the shards that
+// changed; -passthrough forwards every leaf by name instead:
+//
+//	vscsifleet -mode aggregator -listen :9109 -region region-west \
+//	    -upstream http://global:9108/fleet/push -reexport-interval 2s
+//
 // Agent mode — simulate one host's workload and push its registry:
 //
 //	vscsifleet -mode agent -host esx-01 -workload iometer-8k-rand \
@@ -67,6 +76,14 @@ func main() {
 		retention    = flag.Duration("retention", 0, "aggregator: drop log segments older than this (0 = keep everything; requires -data-dir)")
 		catalog      = flag.Bool("catalog", false, "aggregator: build the fleet-personality reference catalog (from -seed) and serve /fleet/catalog")
 
+		// Federation flags: a mid-tier aggregator re-exports its merged
+		// state to a parent aggregator through the same push protocol it
+		// ingests, so trees (agents → region → global) compose freely.
+		upstream         = flag.String("upstream", "", "aggregator: re-export merged state to this parent push URL (e.g. http://global:9108/fleet/push)")
+		region           = flag.String("region", "", "aggregator: name this tier reports upstream as (default: hostname; requires -upstream)")
+		reexportInterval = flag.Duration("reexport-interval", 2*time.Second, "aggregator: re-export period (also the upstream staleness horizon)")
+		passthrough      = flag.Bool("passthrough", false, "aggregator: re-export every fresh downstream host by name instead of one region rollup")
+
 		// Shared simulation flags (agent and sim modes; -seed also feeds
 		// the aggregator's -catalog references).
 		push     = flag.String("push", "", "aggregator push URL, e.g. http://aggr:9108/fleet/push")
@@ -92,7 +109,8 @@ func main() {
 	var err error
 	switch *mode {
 	case "aggregator":
-		err = runAggregator(*listen, *stale, *shards, *pull, *pullInterval, *dataDir, *retention, *catalog, *seed)
+		err = runAggregator(*listen, *stale, *shards, *pull, *pullInterval, *dataDir, *retention, *catalog, *seed,
+			*upstream, *region, *reexportInterval, *passthrough)
 	case "agent":
 		err = runAgent(*listen, *host, *push, *interval, *workload, *fullPush, *seed, *speed, *duration)
 	case "sim":
@@ -107,7 +125,7 @@ func main() {
 	}
 }
 
-func runAggregator(listen string, stale time.Duration, shards int, pull string, pullInterval time.Duration, dataDir string, retention time.Duration, catalog bool, seed int64) error {
+func runAggregator(listen string, stale time.Duration, shards int, pull string, pullInterval time.Duration, dataDir string, retention time.Duration, catalog bool, seed int64, upstream, region string, reexportInterval time.Duration, passthrough bool) error {
 	if listen == "" {
 		listen = ":9108"
 	}
@@ -146,12 +164,36 @@ func runAggregator(listen string, stale time.Duration, shards int, pull string, 
 		// produces a thundering herd (or a goroutine pile-up) here.
 		go agg.PullLoop(nil, pullInterval)
 	}
+	var rex *vscsistats.FleetReExporter
+	if upstream != "" {
+		if region == "" {
+			region, _ = os.Hostname()
+			if region == "" {
+				region = "region"
+			}
+		}
+		rex = vscsistats.NewFleetReExporter(agg, vscsistats.FleetReExporterConfig{
+			Region: region, Upstream: upstream, Interval: reexportInterval,
+			PerHostPassthrough: passthrough, Obs: obs,
+		})
+		rex.Start()
+		defer rex.Stop()
+		mode := "rollup"
+		if passthrough {
+			mode = "passthrough"
+		}
+		fmt.Fprintf(os.Stderr, "re-exporting as %q (%s) to %s every %s\n", region, mode, upstream, reexportInterval)
+	}
 
 	// The aggregator has no local disks; its registry exists so the stats
 	// surface (and /healthz) comes up uniform with every other node.
 	reg := vscsistats.NewRegistry()
+	metrics := vscsistats.NewMetricsExporter(reg).WithFleet(agg).WithFleetObs(obs)
+	if rex != nil {
+		metrics = metrics.WithFleetReExport(rex)
+	}
 	handler := vscsistats.NewStatsHandlerWith(reg, vscsistats.StatsOptions{
-		Metrics:    vscsistats.NewMetricsExporter(reg).WithFleet(agg).WithFleetObs(obs),
+		Metrics:    metrics,
 		Fleet:      agg,
 		FleetTrace: obs.ChromeTraceHandler(),
 	})

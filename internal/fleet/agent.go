@@ -155,6 +155,11 @@ type Agent struct {
 	// traceSalt distinguishes trace IDs across agent restarts, where seq
 	// starts over from 1.
 	traceSalt uint32
+	// boot is this process's incarnation, stamped on every frame: a
+	// receiver seeing a new boot for the host replaces state even at a
+	// lower sequence, so a restarted agent's first full push displaces
+	// its predecessor's state instead of reading as a late retry.
+	boot uint64
 }
 
 // NewAgent builds an agent over the registry. It does not start pushing;
@@ -171,6 +176,17 @@ func NewAgent(reg *core.Registry, cfg AgentConfig) *Agent {
 		done:      make(chan struct{}),
 		rng:       rng,
 		traceSalt: uint32(rng.Int63()),
+		boot:      newBootID(rng),
+	}
+}
+
+// newBootID draws a non-zero incarnation identity (zero on the wire means
+// "pre-federation sender").
+func newBootID(rng *rand.Rand) uint64 {
+	for {
+		if b := uint64(rng.Int63())<<1 ^ uint64(rng.Int63()); b != 0 {
+			return b
+		}
 	}
 }
 
@@ -331,6 +347,7 @@ func (a *Agent) makeWire(q *queued) *Batch {
 		Snapshots:       q.full,
 		TraceID:         q.traceID,
 		CaptureUnixNano: q.sentUnixNano,
+		Boot:            a.boot,
 	}
 	if a.cfg.DisableDeltas {
 		return b
@@ -540,7 +557,7 @@ func (a *Agent) PullHandler() http.Handler {
 		q := a.buildBatch()
 		EncodeBatch(w, &Batch{
 			Host: a.cfg.Host, Seq: q.seq, SentUnixNano: q.sentUnixNano, Snapshots: q.full,
-			TraceID: q.traceID, CaptureUnixNano: q.sentUnixNano,
+			TraceID: q.traceID, CaptureUnixNano: q.sentUnixNano, Boot: a.boot,
 		})
 	})
 }

@@ -133,6 +133,14 @@ type hostState struct {
 	lastSeen     time.Time
 	batches      int64
 	snaps        []*core.Snapshot
+	// boot is the sender's incarnation (0 for pre-federation senders): a
+	// full batch from a different incarnation replaces state even at a
+	// lower sequence, and a delta from one is refused with boot-changed.
+	boot uint64
+	// level and leaves are the sender's federation metadata: its height
+	// in the tree and how many leaf hosts its state folds together.
+	level  int
+	leaves int
 }
 
 // Aggregator accepts pushed batches (full or delta), scatter-gathers pulls
@@ -599,6 +607,11 @@ type HostStatus struct {
 	LastSeenUnixNano int64   `json:"last_seen_unix_nano"`
 	AgeSeconds       float64 `json:"age_seconds"`
 	Stale            bool    `json:"stale"`
+	// Level is the sender's height in the federation tree (0 = leaf
+	// agent, 1 = a region re-exporting agents, and so on); Leaves is how
+	// many leaf hosts the entry folds together (1 for a leaf agent).
+	Level  int `json:"level"`
+	Leaves int `json:"leaves"`
 }
 
 // Hosts lists every known host sorted by name.
@@ -680,6 +693,7 @@ type AggregatorStats struct {
 	ResyncUnknownHost    int64
 	ResyncUnknownDisk    int64
 	ResyncLayoutMismatch int64
+	ResyncBootChanged    int64
 	// MergeCacheHits and MergeCacheMisses count shard-level merge
 	// memoization outcomes across all shards.
 	MergeCacheHits   int64
@@ -711,6 +725,7 @@ func (g *Aggregator) Stats() AggregatorStats {
 		st.ResyncSeqGap += sh.resyncCause[causeIndex(ResyncSeqGap)].Load()
 		st.ResyncUnknownHost += sh.resyncCause[causeIndex(ResyncUnknownHost)].Load()
 		st.ResyncUnknownDisk += sh.resyncCause[causeIndex(ResyncUnknownDisk)].Load()
+		st.ResyncBootChanged += sh.resyncCause[causeIndex(ResyncBootChanged)].Load()
 	}
 	st.ResyncLayoutMismatch = g.layoutMismatch.Load()
 	st.Resyncs += st.ResyncLayoutMismatch
@@ -1068,6 +1083,56 @@ func (g *Aggregator) FleetLogStats() (telemetry.FleetLog, bool) {
 		FramesReplayed:  st.FramesReplayed,
 		TornTails:       st.TornTails,
 	}, true
+}
+
+// Tiers groups the aggregator's host set by federation level, ascending.
+// A flat fleet has one level-0 tier; an aggregator fed by re-exporters
+// shows each tier's host and folded-leaf counts.
+func (g *Aggregator) Tiers() []TierStatus {
+	byLevel := make(map[int]*TierStatus)
+	for _, h := range g.Hosts() {
+		t := byLevel[h.Level]
+		if t == nil {
+			t = &TierStatus{Level: h.Level}
+			byLevel[h.Level] = t
+		}
+		t.Hosts++
+		if h.Stale {
+			t.StaleHosts++
+		}
+		t.Leaves += h.Leaves
+	}
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	out := make([]TierStatus, 0, len(levels))
+	for _, l := range levels {
+		out = append(out, *byLevel[l])
+	}
+	return out
+}
+
+// TierStatus is one federation level's slice of the host set.
+type TierStatus struct {
+	Level      int `json:"level"`
+	Hosts      int `json:"hosts"`
+	StaleHosts int `json:"stale_hosts"`
+	Leaves     int `json:"leaves"`
+}
+
+// FleetTiers implements telemetry.FleetTierSource: per-level gauges for
+// the vscsistats_fleet_tier_* series.
+func (g *Aggregator) FleetTiers() []telemetry.FleetTier {
+	tiers := g.Tiers()
+	out := make([]telemetry.FleetTier, 0, len(tiers))
+	for _, t := range tiers {
+		out = append(out, telemetry.FleetTier{
+			Level: t.Level, Hosts: t.Hosts, StaleHosts: t.StaleHosts, Leaves: t.Leaves,
+		})
+	}
+	return out
 }
 
 // FleetShards implements telemetry.FleetShardSource: per-shard gauges and

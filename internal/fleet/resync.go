@@ -27,11 +27,16 @@ const (
 	// ResyncLayoutMismatch: the delta's histograms do not carry the
 	// canonical bin layout — version skew between sender and receiver.
 	ResyncLayoutMismatch ResyncCause = "layout-mismatch"
+	// ResyncBootChanged: the delta's boot incarnation differs from the
+	// stored one — the sender restarted (its sequence space started over)
+	// and must re-establish the chain with full state.
+	ResyncBootChanged ResyncCause = "boot-changed"
 )
 
 // resyncCauses fixes the counter order; index with causeIndex.
 var resyncCauses = [...]ResyncCause{
 	ResyncSeqGap, ResyncUnknownHost, ResyncUnknownDisk, ResyncLayoutMismatch,
+	ResyncBootChanged,
 }
 
 const numResyncCauses = len(resyncCauses)

@@ -98,6 +98,13 @@ func (s *shard) ingest(b *Batch, source string, now time.Time) (applied bool, er
 			return false, resyncErr(ResyncUnknownHost, "no state for host %q (aggregator restarted?)", b.Host)
 		}
 		st.lastSeen, st.source = now, source
+		if b.Boot != 0 && st.boot != 0 && b.Boot != st.boot {
+			// The sender restarted: its sequence space started over, so
+			// neither the duplicate nor the base-match rule below can be
+			// trusted. Only full state re-establishes the chain.
+			s.noteResync(ResyncBootChanged)
+			return false, resyncErr(ResyncBootChanged, "delta from boot %#x, host %q stored boot %#x", b.Boot, b.Host, st.boot)
+		}
 		if b.Seq <= st.seq {
 			st.batches++
 			s.batches.Add(1)
@@ -116,6 +123,10 @@ func (s *shard) ingest(b *Batch, source string, now time.Time) (applied bool, er
 		st.snaps = snaps
 		st.seq = b.Seq
 		st.sentUnixNano = b.SentUnixNano
+		if b.Boot != 0 {
+			st.boot = b.Boot
+		}
+		st.level, st.leaves = b.Level, b.Leaves
 		st.batches++
 		s.batches.Add(1)
 		s.deltasApplied.Add(1)
@@ -129,10 +140,15 @@ func (s *shard) ingest(b *Batch, source string, now time.Time) (applied bool, er
 	st.lastSeen = now
 	st.source = source
 	st.batches++
-	if b.Seq >= st.seq {
+	// A full batch from a new boot incarnation replaces state even at a
+	// lower sequence: the sender's sequence space restarted, so "newest
+	// seq wins" would pin the host at its dead predecessor's state.
+	if b.Seq >= st.seq || (b.Boot != 0 && st.boot != 0 && b.Boot != st.boot) {
 		st.seq = b.Seq
 		st.sentUnixNano = b.SentUnixNano
 		st.snaps = b.Snapshots
+		st.boot = b.Boot
+		st.level, st.leaves = b.Level, b.Leaves
 		s.version++
 		applied = true
 	}
@@ -181,6 +197,9 @@ func (s *shard) fullBatches() []*Batch {
 			Seq:          st.seq,
 			SentUnixNano: st.sentUnixNano,
 			Snapshots:    st.snaps,
+			Boot:         st.boot,
+			Level:        st.level,
+			Leaves:       st.leaves,
 		})
 	}
 	return out
@@ -204,6 +223,10 @@ func (s *shard) statuses(now time.Time, staleAfter time.Duration, out []HostStat
 	defer s.mu.RUnlock()
 	for _, st := range s.hosts {
 		age := now.Sub(st.lastSeen)
+		leaves := st.leaves
+		if leaves <= 0 {
+			leaves = 1
+		}
 		out = append(out, HostStatus{
 			Host:             st.host,
 			Source:           st.source,
@@ -213,6 +236,8 @@ func (s *shard) statuses(now time.Time, staleAfter time.Duration, out []HostStat
 			LastSeenUnixNano: st.lastSeen.UnixNano(),
 			AgeSeconds:       age.Seconds(),
 			Stale:            age > staleAfter,
+			Level:            st.level,
+			Leaves:           leaves,
 		})
 	}
 	return out

@@ -183,8 +183,8 @@ func TestWireOldDecoderAcceptsTracedFrame(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if data[4] != Version || Version != 2 {
-		t.Fatalf("version byte %d, want 2", data[4])
+	if data[4] != Version || Version != 3 {
+		t.Fatalf("version byte %d, want 3", data[4])
 	}
 	got, err := DecodeBatch(bytes.NewReader(data))
 	if err != nil {

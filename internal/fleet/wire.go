@@ -36,11 +36,12 @@ import (
 // Wire format constants.
 const (
 	// Version is the frame version this package writes. Version 2 added
-	// the trace_id and capture_unix_nano header fields; because they ride
-	// in the JSON header (ignored by readers that predate them) and change
-	// no payload semantics, no new flag bit is needed and version-1
-	// decoders accept version-2 frames unchanged.
-	Version = 2
+	// the trace_id and capture_unix_nano header fields; version 3 added
+	// the boot, level and leaves federation fields. All of them ride in
+	// the JSON header (ignored by readers that predate them) and change no
+	// payload semantics, so no new flag bit is needed and version-1
+	// decoders accept version-3 frames unchanged.
+	Version = 3
 
 	// flagGzip marks a gzip-compressed payload.
 	flagGzip = 1 << 0
@@ -115,6 +116,23 @@ type Batch struct {
 	// and queueing), as opposed to SentUnixNano which is when the batch
 	// was built. Zero on frames from pre-trace senders.
 	CaptureUnixNano int64 `json:"-"`
+	// Boot identifies the sender's incarnation: a random value drawn once
+	// per sender process. When a host's Boot changes, its Seq space
+	// restarted from 1, so the receiver replaces stored state even when
+	// the new sequence is lower — the rule that lets a restarted mid-tier
+	// re-exporter displace its predecessor's state instead of being
+	// mistaken for a late retry. Zero on frames from pre-federation
+	// senders, which keeps their retry semantics exactly as before.
+	Boot uint64 `json:"-"`
+	// Level is the sender's height in the federation tree: 0 for a leaf
+	// agent, 1 + max(ingested levels) for an aggregator re-exporting its
+	// merged state. Liveness metadata for level-aware staleness; it rides
+	// the header so every tier of /fleet/hosts can tag what it holds.
+	Level int `json:"-"`
+	// Leaves is how many leaf hosts the batch's state folds together: 0
+	// (meaning 1) for a leaf agent, the sum of fresh downstream leaves for
+	// a re-exported rollup.
+	Leaves int `json:"-"`
 }
 
 // batchHeader is the frame header; Count duplicates len(Snapshots) so a
@@ -132,6 +150,11 @@ type batchHeader struct {
 	// omit them, and either way the frame stays decodable.
 	TraceID         string `json:"trace_id,omitempty"`
 	CaptureUnixNano int64  `json:"capture_unix_nano,omitempty"`
+	// Boot, Level and Leaves (version 3) carry federation liveness
+	// metadata under the same rule.
+	Boot   uint64 `json:"boot,omitempty"`
+	Level  int    `json:"level,omitempty"`
+	Leaves int    `json:"leaves,omitempty"`
 }
 
 // EncodeBatch writes b to w as one frame.
@@ -139,6 +162,7 @@ func EncodeBatch(w io.Writer, b *Batch) error {
 	hdr := batchHeader{
 		Host: b.Host, Seq: b.Seq, SentUnixNano: b.SentUnixNano, Count: len(b.Snapshots),
 		TraceID: b.TraceID, CaptureUnixNano: b.CaptureUnixNano,
+		Boot: b.Boot, Level: b.Level, Leaves: b.Leaves,
 	}
 	if b.Delta {
 		hdr.BaseSeq = b.BaseSeq
@@ -316,6 +340,7 @@ func DecodeBatch(r io.Reader) (*Batch, error) {
 		Host: hdr.Host, Seq: hdr.Seq, SentUnixNano: hdr.SentUnixNano,
 		Delta: flags&flagDelta != 0, Snapshots: snaps,
 		TraceID: hdr.TraceID, CaptureUnixNano: hdr.CaptureUnixNano,
+		Boot: hdr.Boot, Level: hdr.Level, Leaves: hdr.Leaves,
 	}
 	if out.Delta {
 		// base_seq means nothing without the flag; dropping it on full
@@ -336,6 +361,9 @@ func (b *Batch) Validate() error {
 	}
 	if b.Delta && b.BaseSeq >= b.Seq {
 		return fmt.Errorf("fleet: delta batch base seq %d not below seq %d", b.BaseSeq, b.Seq)
+	}
+	if b.Level < 0 || b.Leaves < 0 {
+		return fmt.Errorf("fleet: negative federation metadata (level %d, leaves %d)", b.Level, b.Leaves)
 	}
 	for i, s := range b.Snapshots {
 		if s == nil {

@@ -61,6 +61,32 @@ func FuzzDecodeBatch(f *testing.F) {
 	badFlags[5] |= 1 << 7 // an unknown flag bit alongside flagDelta
 	f.Add(badFlags)
 
+	// Re-exported frames (version 3): a mid-tier's rollup delta carrying
+	// the federation header fields — boot incarnation, level, leaf count —
+	// and a trace ID that will traverse two decode hops on its way from a
+	// region to the global tier. Seeded whole and truncated so the fuzzer
+	// explores the federation fields' boundaries.
+	reexported, err := EncodeBatchBytes(&Batch{
+		Host: "region-west", Seq: 7, BaseSeq: 6, Delta: true, Snapshots: deltaSnaps,
+		TraceID: "region-west-00c0ffee-7", CaptureUnixNano: 1_700_000_000_000_000_000,
+		Boot: 0xdeadbeefcafef00d, Level: 1, Leaves: 640,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(reexported)
+	f.Add(reexported[:len(reexported)*3/4])
+	// A liveness-only heartbeat: delta flag, zero snapshots, federation
+	// header intact — the smallest frame the protocol sends.
+	heartbeat, err := EncodeBatchBytes(&Batch{
+		Host: "region-west", Seq: 7, BaseSeq: 6, Delta: true,
+		Boot: 0xdeadbeefcafef00d, Level: 1, Leaves: 640,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(heartbeat)
+
 	empty, err := EncodeBatchBytes(&Batch{Host: "empty"})
 	if err != nil {
 		f.Fatal(err)
@@ -122,6 +148,13 @@ func FuzzDecodeBatch(f *testing.F) {
 		if b2.TraceID != b.TraceID || b2.CaptureUnixNano != b.CaptureUnixNano {
 			t.Fatalf("trace fields drifted: %q/%d vs %q/%d",
 				b.TraceID, b.CaptureUnixNano, b2.TraceID, b2.CaptureUnixNano)
+		}
+		// And the version-3 federation fields — dropping the boot would
+		// resurrect the restarted-sender pinning bug, and dropping level or
+		// leaves would silently flatten the tier view.
+		if b2.Boot != b.Boot || b2.Level != b.Level || b2.Leaves != b.Leaves {
+			t.Fatalf("federation fields drifted: %#x/%d/%d vs %#x/%d/%d",
+				b.Boot, b.Level, b.Leaves, b2.Boot, b2.Level, b2.Leaves)
 		}
 		// A batch that validated must merge without panicking.
 		if valid && len(b.Snapshots) > 0 {

@@ -71,6 +71,9 @@ const (
 	StageReplay
 	// StageHistory is one history query over the segment log.
 	StageHistory
+	// StageReExport is one re-export flush: rendering merged shard
+	// state and pushing it upstream as a synthetic host.
+	StageReExport
 
 	numStages
 )
@@ -78,7 +81,7 @@ const (
 var stageNames = [numStages]string{
 	"capture", "delta_render", "encode", "push", "queue_dwell",
 	"decode", "lock_wait", "ingest", "merge_recompute", "log_append",
-	"fsync", "compaction", "replay", "history",
+	"fsync", "compaction", "replay", "history", "re_export",
 }
 
 // String returns the stage's snake_case name (also its metric label).
@@ -110,6 +113,7 @@ const (
 	KindCompactionCommit = "compaction_commit"
 	KindTornTail         = "torn_tail"
 	KindReplay           = "replay"
+	KindReExport         = "re_export"
 )
 
 // eventKinds fixes the export order of per-kind counters; numKinds
@@ -117,6 +121,7 @@ const (
 var eventKinds = [...]string{
 	KindStage, KindPush, KindResync, KindRotation, KindRetention,
 	KindCompactionBegin, KindCompactionCommit, KindTornTail, KindReplay,
+	KindReExport,
 }
 
 const numKinds = len(eventKinds) + 1

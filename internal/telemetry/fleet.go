@@ -71,6 +71,53 @@ type FleetLogSource interface {
 	FleetLogStats() (FleetLog, bool)
 }
 
+// FleetTier aggregates one federation level of an aggregator's host set:
+// level 0 entries are leaf agents, level 1 entries are regional
+// aggregators re-exporting their merges, and so on up the tree.
+type FleetTier struct {
+	Level      int
+	Hosts      int
+	StaleHosts int
+	Leaves     int
+}
+
+// FleetTierSource is the optional federation extension of FleetSource: a
+// source that also groups its hosts by federation level. The exporter
+// type-asserts, mirroring FleetShardSource.
+type FleetTierSource interface {
+	FleetTiers() []FleetTier
+}
+
+// FleetReExport is a mid-tier re-exporter's counters: the upstream push
+// health of one aggregator feeding another.
+type FleetReExport struct {
+	Region      string
+	Upstream    string
+	Level       int
+	Pushes      int64
+	DeltaPushes int64
+	Heartbeats  int64
+	FullPushes  int64
+	Resyncs     int64
+	Errors      int64
+	SentBytes   int64
+}
+
+// FleetReExportSource reports a re-exporter's counters; fleet.ReExporter
+// implements it. Attached separately from FleetSource because the
+// re-exporter wraps the aggregator rather than being one.
+type FleetReExportSource interface {
+	FleetReExportStats() FleetReExport
+}
+
+// WithFleetReExport attaches a mid-tier re-exporter and returns the
+// exporter. Scrapes then include the vscsistats_fleet_tier_reexport_*
+// series.
+func (e *Exporter) WithFleetReExport(src FleetReExportSource) *Exporter {
+	e.fleetReExport = src
+	return e
+}
+
 // WithFleet attaches a fleet aggregator and returns the exporter. Scrapes
 // then include the vscsistats_fleet_* series: host liveness gauges, merged
 // cluster counters, per-VM command counters, and the six paper histograms
@@ -120,6 +167,9 @@ func (e *Exporter) writeFleet(p *promWriter) {
 
 	if src, ok := e.fleet.(FleetShardSource); ok {
 		writeFleetShards(p, src.FleetShards())
+	}
+	if src, ok := e.fleet.(FleetTierSource); ok {
+		writeFleetTiers(p, src.FleetTiers())
 	}
 	if src, ok := e.fleet.(FleetLogSource); ok {
 		if log, enabled := src.FleetLogStats(); enabled {
@@ -203,6 +253,63 @@ func writeFleetShards(p *promWriter, shards []FleetShard) {
 		for _, s := range shards {
 			p.sample(f.name, `shard="`+strconv.Itoa(s.Index)+`"`, strconv.FormatInt(f.get(s), 10))
 		}
+	}
+}
+
+// writeFleetTiers emits the vscsistats_fleet_tier_* series: the
+// aggregator's host set grouped by federation level, labelled level="N".
+// A flat fleet exposes one level-0 row; a federated one shows each tier's
+// host and folded-leaf counts, so a region dropping out of the global
+// view is visible as a leaves dip at level 1.
+func writeFleetTiers(p *promWriter, tiers []FleetTier) {
+	type series struct {
+		name, typ, help string
+		get             func(FleetTier) int64
+	}
+	families := []series{
+		{"vscsistats_fleet_tier_hosts", "gauge", "Hosts reporting at the federation level.",
+			func(t FleetTier) int64 { return int64(t.Hosts) }},
+		{"vscsistats_fleet_tier_hosts_stale", "gauge", "Level hosts past the liveness horizon.",
+			func(t FleetTier) int64 { return int64(t.StaleHosts) }},
+		{"vscsistats_fleet_tier_leaves", "gauge", "Leaf hosts folded into the level's entries.",
+			func(t FleetTier) int64 { return int64(t.Leaves) }},
+	}
+	for _, f := range families {
+		p.family(f.name, f.typ, f.help)
+		for _, t := range tiers {
+			p.sample(f.name, `level="`+strconv.Itoa(t.Level)+`"`, strconv.FormatInt(f.get(t), 10))
+		}
+	}
+	p.family("vscsistats_fleet_tier_depth", "gauge", "Federation levels present in the host set.")
+	p.sample("vscsistats_fleet_tier_depth", "", strconv.Itoa(len(tiers)))
+}
+
+// writeFleetReExport emits the vscsistats_fleet_tier_reexport_* series:
+// the upstream push health of a mid-tier aggregator feeding another.
+func (e *Exporter) writeFleetReExport(p *promWriter) {
+	if e.fleetReExport == nil {
+		return
+	}
+	st := e.fleetReExport.FleetReExportStats()
+	labels := `region="` + escapeLabel(st.Region) + `"`
+	p.family("vscsistats_fleet_tier_reexport_level", "gauge", "Federation level the re-exporter stamps on upstream frames.")
+	p.sample("vscsistats_fleet_tier_reexport_level", labels, strconv.Itoa(st.Level))
+	type series struct {
+		name, help string
+		value      int64
+	}
+	families := []series{
+		{"vscsistats_fleet_tier_reexport_pushes_total", "Re-export frames delivered upstream.", st.Pushes},
+		{"vscsistats_fleet_tier_reexport_delta_pushes_total", "Re-export frames delivered as interval deltas.", st.DeltaPushes},
+		{"vscsistats_fleet_tier_reexport_heartbeats_total", "Liveness-only duplicate frames sent when nothing changed.", st.Heartbeats},
+		{"vscsistats_fleet_tier_reexport_full_pushes_total", "Re-export frames delivered as full state.", st.FullPushes},
+		{"vscsistats_fleet_tier_reexport_resyncs_total", "Upstream delta refusals answered with full state.", st.Resyncs},
+		{"vscsistats_fleet_tier_reexport_errors_total", "Failed upstream delivery attempts.", st.Errors},
+		{"vscsistats_fleet_tier_reexport_sent_bytes_total", "Wire bytes delivered upstream.", st.SentBytes},
+	}
+	for _, f := range families {
+		p.family(f.name, "counter", f.help)
+		p.sample(f.name, labels, strconv.FormatInt(f.value, 10))
 	}
 }
 

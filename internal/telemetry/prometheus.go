@@ -33,11 +33,12 @@ import (
 // ordinary counter reset. All reads go through the concurrency-safe
 // snapshot surfaces, so scraping while simulations issue commands is safe.
 type Exporter struct {
-	reg      *core.Registry
-	disks    DiskStatsSource
-	fleet    FleetSource
-	fleetObs FleetObsSource
-	sim      SimSource
+	reg           *core.Registry
+	disks         DiskStatsSource
+	fleet         FleetSource
+	fleetReExport FleetReExportSource
+	fleetObs      FleetObsSource
+	sim           SimSource
 	scrapes  atomic.Int64
 	// lastScrapeNs records the duration of the most recent scrape.
 	lastScrapeNs atomic.Int64
@@ -112,6 +113,7 @@ func (e *Exporter) Write(w io.Writer) error {
 	e.writeWorkloadHistograms(p, rows)
 	e.writeSelf(p, rows)
 	e.writeFleet(p)
+	e.writeFleetReExport(p)
 	e.writeFleetObs(p)
 	e.writeSim(p)
 

@@ -438,6 +438,7 @@ type (
 	FleetAggregatorStats  = fleet.AggregatorStats
 	FleetHostStatus       = fleet.HostStatus
 	FleetShardStatus      = fleet.ShardStatus
+	FleetTierStatus       = fleet.TierStatus
 	FleetLogStats         = fleet.LogStats
 	FleetReplayStats      = fleet.ReplayStats
 	FleetHistoryResult    = fleet.HistoryResult
@@ -478,6 +479,28 @@ func NewFleetAggregator(cfg FleetAggregatorConfig) *FleetAggregator {
 // DataDir this is exactly NewFleetAggregator.
 func OpenFleetAggregator(cfg FleetAggregatorConfig) (*FleetAggregator, FleetReplayStats, error) {
 	return fleet.OpenAggregator(cfg)
+}
+
+// FleetReExporter makes aggregators composable into trees of arbitrary
+// depth (agents → region → global): it re-exports an aggregator's merged
+// per-shard state upstream through the same push protocol the aggregator
+// ingests — one synthetic host per region by default, or every leaf by
+// name with PerHostPassthrough. Upstream wire bytes and ingest scale with
+// regions changed, not leaf hosts; quiet intervals send liveness-only
+// heartbeats, and a restarted tier resyncs through the boot-incarnation
+// 409 protocol exactly like an agent.
+type (
+	FleetReExporter       = fleet.ReExporter
+	FleetReExporterConfig = fleet.ReExporterConfig
+	FleetReExporterStats  = fleet.ReExporterStats
+)
+
+// NewFleetReExporter wraps the aggregator with an upstream re-export
+// loop; Start launches it, ReExportNow flushes synchronously, Stop ends
+// it with one final flush. Chain MetricsExporter.WithFleetReExport for
+// the vscsistats_fleet_tier_reexport_* series.
+func NewFleetReExporter(agg *FleetAggregator, cfg FleetReExporterConfig) *FleetReExporter {
+	return fleet.NewReExporter(agg, cfg)
 }
 
 // EncodeSnapshotBatch and DecodeSnapshotBatch are the fleet wire codec:
