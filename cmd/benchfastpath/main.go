@@ -4,7 +4,9 @@
 //   - default: the observation fast path (BENCH_fastpath.json) — the striped
 //     histogram + bin LUT + batched observer work. Table2StatsOn/Off and
 //     MultiVMParallel at the root, Insert/InsertParallel in
-//     internal/histogram (at -cpu 1,4), FleetMerge in internal/fleet.
+//     internal/histogram (at -cpu 1,4), FleetMerge in internal/fleet, and
+//     the 1M-record trace-replay engine (legacy vs streaming vs parallel,
+//     the streaming ones at -cpu 1,4) in internal/trace.
 //   - -fleet: the fleet tier (BENCH_fleet.json) — sharded ingest+scrape at
 //     256/1024 simulated hosts against the monolithic single-mutex
 //     configuration, full vs delta wire bytes per push interval, cached
@@ -24,15 +26,17 @@
 //	go run ./cmd/benchfastpath -check                  # CI regression fence
 //	go run ./cmd/benchfastpath -check -fleet           # CI fence, fleet ingest
 //
-// -check re-measures the fence benchmarks only (BenchmarkTable2StatsOn,
-// or BenchmarkFleetIngest1024, BenchmarkFleetReplay1024 and
-// BenchmarkFleetTreeIngest10k with -fleet) and
-// fails (exit 1) if any regressed more than -tolerance percent over the
-// entry named by -against, so CI catches regressions without re-running
-// the full suite. With -fleet it also measures the traced-ingest variant
-// (BenchmarkFleetIngest1024Traced) in the same session and fails if
-// observability costs more than 5% over the untraced fence — a relative
-// fence, so machine speed cancels out.
+// -check re-measures the fence benchmarks only (BenchmarkTable2StatsOn
+// and BenchmarkTraceReplay1M, or BenchmarkFleetIngest1024,
+// BenchmarkFleetReplay1024 and BenchmarkFleetTreeIngest10k with -fleet)
+// and fails (exit 1) if any regressed more than -tolerance percent over
+// the entry named by -against, so CI catches regressions without
+// re-running the full suite. Relative fences measure both sides fresh in
+// the same session so machine speed cancels out: streaming trace replay
+// must stay at or below half the legacy materialize-and-sort cost
+// (maxPct -50, i.e. the >=2x speedup claim), and with -fleet the
+// traced-ingest variant (BenchmarkFleetIngest1024Traced) must cost no
+// more than 5% over the untraced fence.
 package main
 
 import (
@@ -82,6 +86,8 @@ var suite = []benchSpec{
 	{".", "Table2Stats|MultiVMParallel", nil},
 	{"./internal/histogram", "^BenchmarkInsert$|^BenchmarkInsertParallel$", []string{"-cpu", "1,4"}},
 	{"./internal/fleet", "^BenchmarkFleetMerge$", nil},
+	{"./internal/trace", "^BenchmarkTraceReplay(Legacy1M|1MMerged)$", nil},
+	{"./internal/trace", "^BenchmarkTraceReplay1M(Parallel)?$", []string{"-cpu", "1,4"}},
 }
 
 // fleetSuite lists the fleet-tier benchmarks -fleet runs. The Mono
@@ -110,8 +116,23 @@ func main() {
 	)
 	flag.Parse()
 
-	benches, fences := suite, []fence{{"BenchmarkTable2StatsOn", "."}}
-	var relFences []relFence
+	// Two fast-path fences: the observation hot path, and the streaming
+	// trace-replay engine (absolute, against the recorded entry). Plus one
+	// relative fence: streaming replay must stay at or below half the
+	// legacy materialize-and-sort cost — a negative maxPct, meaning the
+	// claimed >=2x single-core speedup is re-proven on every -check, with
+	// both sides measured fresh so machine speed cancels out.
+	benches := suite
+	fences := []fence{
+		{"BenchmarkTable2StatsOn", "."},
+		{"BenchmarkTraceReplay1M", "./internal/trace"},
+	}
+	relFences := []relFence{{
+		bench:   "BenchmarkTraceReplay1M",
+		against: "BenchmarkTraceReplayLegacy1M",
+		pkg:     "./internal/trace",
+		maxPct:  -50,
+	}}
 	if *fleet {
 		// Three fleet fences: the ingest fast path, the boot replay the
 		// segment log added — a slow restart is a regression too — and the
@@ -395,7 +416,7 @@ func runCheck(path, against string, fences []fence, relFences []relFence, count 
 		}
 		ref := refs[fc.name]
 		limit := ref * (1 + tolerance/100)
-		fmt.Printf("%s: %.2f ns/op, %s %q: %.2f ns/op, limit +%.0f%%: %.2f ns/op\n",
+		fmt.Printf("%s: %.2f ns/op, %s %q: %.2f ns/op, limit %+.0f%%: %.2f ns/op\n",
 			strings.TrimPrefix(fc.name, "Benchmark"), got, path, against, ref, tolerance, limit)
 		if got > limit {
 			fmt.Printf("FAIL: %s regressed %.1f%% over %q\n", strings.TrimPrefix(fc.name, "Benchmark"), (got/ref-1)*100, against)
@@ -410,7 +431,7 @@ func runCheck(path, against string, fences []fence, relFences []relFence, count 
 			return 1
 		}
 		limit := base * (1 + r.maxPct/100)
-		fmt.Printf("%s: %.2f ns/op, in-session %s: %.2f ns/op, limit +%.0f%%: %.2f ns/op\n",
+		fmt.Printf("%s: %.2f ns/op, in-session %s: %.2f ns/op, limit %+.0f%%: %.2f ns/op\n",
 			strings.TrimPrefix(r.bench, "Benchmark"), got,
 			strings.TrimPrefix(r.against, "Benchmark"), base, r.maxPct, limit)
 		if got > limit {

@@ -1,0 +1,209 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+)
+
+// Zero-allocation CSV plumbing for the public-trace parsers. The scanners
+// hand out slices into reused buffers — amortized-zero-alloc in the steady
+// state — and every buffer grows progressively with a hard cap, so a
+// hostile input (one multi-gigabyte "line", say) costs bounded memory and
+// a skipped record, never an OOM. Same discipline as wire.readSized on the
+// push protocol.
+
+const (
+	// csvInitialLine is the first allocation for an overflowing line.
+	csvInitialLine = 4 << 10
+	// csvMaxLine caps per-line memory; longer lines are discarded whole.
+	csvMaxLine = 1 << 20
+	// csvMaxFields caps the fields examined per line. The real formats
+	// have ≤ 7; trailing extras are ignored rather than buffered.
+	csvMaxFields = 12
+	// csvMaxInterned caps the (VM, disk) names remembered per parse, so a
+	// trace with a hostile number of distinct hostnames degrades to
+	// per-record allocation instead of unbounded table growth.
+	csvMaxInterned = 1 << 16
+)
+
+// lineScanner yields one line at a time from a bufio.Reader. The returned
+// slice aliases either the reader's internal buffer (common case: no copy,
+// no allocation) or the scanner's own overflow buffer, and is valid only
+// until the next call.
+type lineScanner struct {
+	br   *bufio.Reader
+	over []byte // overflow buffer for lines longer than br's buffer
+	line uint64 // 1-based number of the line most recently returned
+	long uint64 // lines discarded for exceeding csvMaxLine
+}
+
+func newLineScanner(br *bufio.Reader) *lineScanner { return &lineScanner{br: br} }
+
+// next returns the next line without its terminator, or io.EOF. Lines
+// longer than csvMaxLine are discarded (counted in long) and the scan
+// moves on; ok=false marks such a discard so callers can skip it without
+// mistaking it for an empty line.
+func (s *lineScanner) next() (line []byte, ok bool, err error) {
+	s.line++
+	frag, err := s.br.ReadSlice('\n')
+	if err == nil || (err == io.EOF && len(frag) > 0) {
+		return trimEOL(frag), true, nil
+	}
+	if err == io.EOF {
+		return nil, false, io.EOF
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, false, err
+	}
+	// Long line: accumulate into the overflow buffer with progressive
+	// growth, give up past the cap.
+	if s.over == nil {
+		s.over = make([]byte, 0, csvInitialLine)
+	}
+	s.over = append(s.over[:0], frag...)
+	for {
+		frag, err = s.br.ReadSlice('\n')
+		keep := len(s.over) <= csvMaxLine
+		if keep {
+			room := csvMaxLine + 1 - len(s.over)
+			if len(frag) < room {
+				room = len(frag)
+			}
+			s.over = append(s.over, frag[:room]...)
+		}
+		switch err {
+		case bufio.ErrBufferFull:
+			continue
+		case nil, io.EOF:
+			if err == io.EOF && len(frag) == 0 && len(s.over) == 0 {
+				return nil, false, io.EOF
+			}
+			if len(s.over) > csvMaxLine {
+				s.long++
+				return nil, false, nil
+			}
+			return trimEOL(s.over), true, nil
+		default:
+			return nil, false, err
+		}
+	}
+}
+
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// splitComma splits line into at most csvMaxFields comma-separated fields,
+// reusing the caller's slice. Fields alias the line.
+func splitComma(line []byte, fields [][]byte) [][]byte {
+	fields = fields[:0]
+	for len(fields) < csvMaxFields-1 {
+		i := bytes.IndexByte(line, ',')
+		if i < 0 {
+			break
+		}
+		fields = append(fields, line[:i])
+		line = line[i+1:]
+	}
+	return append(fields, line)
+}
+
+// parseU64 parses an unsigned decimal integer, rejecting empty input,
+// non-digits and overflow. Unlike strconv it never allocates (no error
+// construction) and accepts nothing but ASCII digits — locale variants
+// ("1_000", "1,5", "1e3", "½") are malformed, full stop.
+func parseU64(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 20 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		d := uint64(c - '0')
+		if v > (1<<64-1-d)/10 {
+			return 0, false
+		}
+		v = v*10 + d
+	}
+	return v, true
+}
+
+// parseScaledU64 parses a non-negative decimal that may carry a fractional
+// part ("1234", "1234.56") and returns the value in 1/scale units,
+// truncated — e.g. scale=1000 turns milliseconds into microseconds
+// without a float round-trip. Exponents and locale separators are
+// rejected.
+func parseScaledU64(b []byte, scale uint64) (uint64, bool) {
+	dot := bytes.IndexByte(b, '.')
+	if dot < 0 {
+		v, ok := parseU64(b)
+		if !ok || v > (1<<64-1)/scale {
+			return 0, false
+		}
+		return v * scale, true
+	}
+	whole, ok := parseU64(b[:dot])
+	if !ok || whole > (1<<64-1)/scale {
+		return 0, false
+	}
+	frac := b[dot+1:]
+	if len(frac) == 0 {
+		return whole * scale, true
+	}
+	var fv, fs uint64 = 0, 1
+	for _, c := range frac {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		if fs < scale { // further digits are below the target resolution
+			fv = fv*10 + uint64(c-'0')
+			fs *= 10
+		}
+	}
+	return whole*scale + fv*(scale/fs), true
+}
+
+// interner deduplicates the VM/disk name strings a CSV parser mints, so a
+// million records over a dozen hostnames cost a dozen allocations. The
+// m[string(b)] lookup compiles to a no-alloc map probe. Past csvMaxInterned
+// distinct names it stops remembering (hostile-input bound) but still
+// returns correct strings.
+type interner struct {
+	m map[string]string
+}
+
+func newInterner() *interner { return &interner{m: make(map[string]string)} }
+
+// get returns the canonical string for b, minting it on first sight.
+func (in *interner) get(b []byte) string {
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := string(b)
+	if len(in.m) < csvMaxInterned {
+		in.m[s] = s
+	}
+	return s
+}
+
+// getPrefixed is get for names derived as prefix+b (e.g. disk numbers
+// rendered as "disk3"), still keyed on the raw bytes.
+func (in *interner) getPrefixed(prefix string, b []byte) string {
+	if s, ok := in.m[string(b)]; ok {
+		return s
+	}
+	s := prefix + string(b)
+	if len(in.m) < csvMaxInterned {
+		in.m[string(b)] = s
+	}
+	return s
+}

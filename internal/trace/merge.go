@@ -1,0 +1,247 @@
+package trace
+
+import "io"
+
+// MergeSource restores global issue order over a streaming trace with
+// bounded memory: a k-way merge over per-(VM, disk) substreams. Each
+// substream gets a small min-heap keyed (IssueMicros, arrival index) — the
+// arrival index keeps equal-instant records in capture order, which is
+// exactly the tie-break of the legacy sort — and a second heap merges the
+// substream heads. Because capture order is issue order within a disk, a
+// substream's heap root is that disk's earliest unemitted record, so the
+// minimum over roots is the global minimum of everything buffered.
+//
+// The lookahead window bounds memory at O(window + disks) records in place
+// of the legacy materialize-and-sort's O(n): a record is emitted only once
+// window records are buffered past it (or the source ends), so any record
+// displaced from global issue order by at most window positions lands in
+// exact order. Native captures record at completion time, which displaces
+// issue order by at most the queue depth times the disk count — far under
+// the default window. A record displaced further is emitted late and
+// counted in Violations; nothing is dropped.
+type MergeSource struct {
+	src    RecordSource
+	window int
+
+	disks  map[diskKey]*mergeDisk
+	heads  []*mergeDisk // min-heap of substream roots
+	total  int          // records buffered across all substreams
+	nextID uint64       // arrival index
+
+	lastIssue  int64
+	haveLast   bool
+	violations uint64
+
+	// scratch receives src.Next reads; a loop-local Record would escape
+	// through the interface call and cost one heap allocation per record.
+	scratch Record
+
+	eof bool
+	err error
+}
+
+// diskKey identifies a (VM, disk) substream. Comparing interned string
+// headers is cheap and allocation-free, unlike concatenated map keys.
+type diskKey struct{ vm, disk string }
+
+// mergeEntry is one buffered record with its arrival index.
+type mergeEntry struct {
+	rec Record
+	idx uint64
+}
+
+// mergeDisk is one substream: a min-heap of its buffered records.
+type mergeDisk struct {
+	entries []mergeEntry
+	headPos int // index in MergeSource.heads, -1 while empty
+}
+
+// DefaultMergeWindow is the lookahead of NewMergeSource when window <= 0:
+// 32768 records ≈ 3 MiB buffered, far beyond the issue-order displacement
+// any real capture exhibits.
+const DefaultMergeWindow = 32768
+
+// NewMergeSource wraps src in a bounded k-way issue-order merge.
+// window <= 0 takes DefaultMergeWindow.
+func NewMergeSource(src RecordSource, window int) *MergeSource {
+	if window <= 0 {
+		window = DefaultMergeWindow
+	}
+	return &MergeSource{src: src, window: window, disks: make(map[diskKey]*mergeDisk)}
+}
+
+// Violations reports records that were emitted out of global issue order
+// because their displacement exceeded the lookahead window.
+func (m *MergeSource) Violations() uint64 { return m.violations }
+
+// Next implements RecordSource: globally issue-ordered records.
+func (m *MergeSource) Next(rec *Record) error {
+	if m.err != nil {
+		return m.err
+	}
+	for {
+		if m.total > m.window || (m.eof && m.total > 0) {
+			m.pop(rec)
+			return nil
+		}
+		if m.eof {
+			m.err = io.EOF
+			return io.EOF
+		}
+		if err := m.src.Next(&m.scratch); err != nil {
+			if err == io.EOF {
+				m.eof = true
+				continue
+			}
+			m.err = err
+			return err
+		}
+		m.push(m.scratch)
+	}
+}
+
+func entryLess(a, b *mergeEntry) bool {
+	if a.rec.IssueMicros != b.rec.IssueMicros {
+		return a.rec.IssueMicros < b.rec.IssueMicros
+	}
+	return a.idx < b.idx
+}
+
+// push buffers one record in its substream's heap.
+func (m *MergeSource) push(r Record) {
+	key := diskKey{r.VM, r.Disk}
+	d := m.disks[key]
+	if d == nil {
+		d = &mergeDisk{headPos: -1}
+		m.disks[key] = d
+	}
+	d.entries = append(d.entries, mergeEntry{rec: r, idx: m.nextID})
+	m.nextID++
+	m.total++
+	// Sift the new entry up its substream heap.
+	i := len(d.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(&d.entries[i], &d.entries[parent]) {
+			break
+		}
+		d.entries[i], d.entries[parent] = d.entries[parent], d.entries[i]
+		i = parent
+	}
+	if d.headPos == -1 {
+		m.headPush(d)
+	} else if i == 0 {
+		m.headFix(d.headPos) // the substream's root changed
+	}
+}
+
+// pop emits the global minimum: the smallest substream root.
+func (m *MergeSource) pop(rec *Record) {
+	d := m.heads[0]
+	*rec = d.entries[0].rec
+	m.total--
+	// Remove the root from the substream heap.
+	last := len(d.entries) - 1
+	d.entries[0] = d.entries[last]
+	d.entries[last] = mergeEntry{} // release the interned-name references
+	d.entries = d.entries[:last]
+	if last == 0 {
+		m.headRemoveTop()
+	} else {
+		m.siftDown(d)
+		m.headFix(0)
+	}
+	if m.haveLast && rec.IssueMicros < m.lastIssue {
+		m.violations++
+	} else {
+		m.lastIssue = rec.IssueMicros
+		m.haveLast = true
+	}
+}
+
+// siftDown restores d's substream heap after replacing its root.
+func (m *MergeSource) siftDown(d *mergeDisk) {
+	n := len(d.entries)
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && entryLess(&d.entries[l], &d.entries[min]) {
+			min = l
+		}
+		if r < n && entryLess(&d.entries[r], &d.entries[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		d.entries[i], d.entries[min] = d.entries[min], d.entries[i]
+		i = min
+	}
+}
+
+// headLess compares two substreams by their root entries.
+func headLess(a, b *mergeDisk) bool { return entryLess(&a.entries[0], &b.entries[0]) }
+
+func (m *MergeSource) headPush(d *mergeDisk) {
+	d.headPos = len(m.heads)
+	m.heads = append(m.heads, d)
+	m.headUp(d.headPos)
+}
+
+func (m *MergeSource) headRemoveTop() {
+	last := len(m.heads) - 1
+	top := m.heads[0]
+	m.heads[0] = m.heads[last]
+	m.heads[0].headPos = 0
+	m.heads = m.heads[:last]
+	top.headPos = -1
+	if len(m.heads) > 1 {
+		m.headDown(0)
+	}
+}
+
+// headFix restores the head heap after the substream at position i changed
+// its root.
+func (m *MergeSource) headFix(i int) {
+	if m.headUp(i) == i {
+		m.headDown(i)
+	}
+}
+
+func (m *MergeSource) headUp(i int) int {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !headLess(m.heads[i], m.heads[parent]) {
+			break
+		}
+		m.headSwap(i, parent)
+		i = parent
+	}
+	return i
+}
+
+func (m *MergeSource) headDown(i int) {
+	n := len(m.heads)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && headLess(m.heads[l], m.heads[min]) {
+			min = l
+		}
+		if r < n && headLess(m.heads[r], m.heads[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		m.headSwap(i, min)
+		i = min
+	}
+}
+
+func (m *MergeSource) headSwap(i, j int) {
+	m.heads[i], m.heads[j] = m.heads[j], m.heads[i]
+	m.heads[i].headPos = i
+	m.heads[j].headPos = j
+}

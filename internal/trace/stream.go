@@ -61,6 +61,13 @@ func (sw *StreamWriter) Append(rec Record) error {
 }
 
 func (sw *StreamWriter) append(rec Record) {
+	// The error is sticky: once anything failed — a short write, a full
+	// string table — the stream is truncated and nothing more may count.
+	// bufio would absorb writes that follow a non-I/O error, so Count
+	// would keep reporting records that never reached the stream.
+	if sw.err != nil {
+		return
+	}
 	vm, ok := sw.intern(rec.VM)
 	if !ok {
 		return
@@ -115,12 +122,16 @@ func (sw *StreamWriter) intern(s string) (uint16, bool) {
 	return id, true
 }
 
-// Close flushes buffered frames.
+// Close flushes buffered frames. A flush failure is recorded like any
+// other write error, so Err() keeps reporting it after Close returns.
 func (sw *StreamWriter) Close() error {
 	if sw.err != nil {
 		return sw.err
 	}
-	return sw.w.Flush()
+	if err := sw.w.Flush(); err != nil {
+		sw.err = err
+	}
+	return sw.err
 }
 
 // ReadStream parses a stream produced by StreamWriter.

@@ -405,14 +405,48 @@ func (f *failWriter) Write(p []byte) (int, error) {
 
 func TestStreamWriterStopsOnError(t *testing.T) {
 	sw := NewStreamWriter(&failWriter{})
+	rec := sampleRecords(1)[0]
 	for i := 0; i < 1000; i++ {
-		sw.Append(sampleRecords(1)[0])
+		sw.Append(rec)
 	}
 	if err := sw.Close(); err == nil {
 		t.Fatal("expected write error")
 	}
 	if sw.Count() == 1000 {
 		t.Error("writer should have stopped counting after the error")
+	}
+	// The error is sticky: further appends of already-interned names must
+	// not resurrect the count (bufio happily buffers them, but the stream
+	// is truncated — counting them would report phantom records).
+	frozen := sw.Count()
+	for i := 0; i < 100; i++ {
+		if err := sw.Append(rec); err == nil {
+			t.Fatal("Append after error must keep returning it")
+		}
+	}
+	if sw.Count() != frozen {
+		t.Errorf("Count moved %d -> %d after the first error", frozen, sw.Count())
+	}
+	if sw.Err() == nil {
+		t.Error("Err() must report the write error")
+	}
+}
+
+// A flush failure at Close must surface through both Close and Err, even
+// when every buffered Write succeeded.
+func TestStreamWriterCloseSurfacesFlushError(t *testing.T) {
+	sw := NewStreamWriter(&failWriter{n: 4096 - 10}) // fails on first flush
+	if err := sw.Append(sampleRecords(1)[0]); err != nil {
+		t.Fatalf("buffered append: %v", err)
+	}
+	if err := sw.Close(); err == nil {
+		t.Fatal("Close must surface the flush error")
+	}
+	if sw.Err() == nil {
+		t.Error("Err() must keep reporting the flush error after Close")
+	}
+	if err := sw.Close(); err == nil {
+		t.Error("repeated Close must keep returning the error")
 	}
 }
 

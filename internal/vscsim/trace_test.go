@@ -1,0 +1,84 @@
+package vscsim
+
+import (
+	"testing"
+	"time"
+
+	"vscsistats/internal/trace"
+	"vscsistats/internal/workload"
+)
+
+func tracePersonality(name string) workload.FleetPersonality {
+	recs := trace.Synthesize(13, 20000)
+	return workload.FleetPersonality{
+		Name:   name,
+		Weight: 1,
+		Trace:  trace.Filter(recs, trace.OnlyBlockIO),
+	}
+}
+
+// A trace-backed personality flows through the fleet path like a synthetic
+// one: its VMs replay the captured stream into their collectors, and the
+// whole thing stays deterministic.
+func TestTraceBackedPersonality(t *testing.T) {
+	persona := tracePersonality("replayed")
+	run := func() (int64, int64) {
+		inv := NewInventory(Config{
+			Seed: 5, Hosts: 2, VMsPerHost: 2,
+			Personalities: []workload.FleetPersonality{persona},
+		})
+		sim, err := New(inv, SimConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sim.RunVirtual(2 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		cluster := localCluster(sim)
+		if cluster == nil || cluster.Commands == 0 {
+			t.Fatal("trace-backed VMs issued no commands into their collectors")
+		}
+		if cluster.NumReads == 0 || cluster.NumWrites == 0 {
+			t.Fatalf("replayed mix lost an op class: %d reads, %d writes",
+				cluster.NumReads, cluster.NumWrites)
+		}
+		st := sim.Stats()
+		return st.Ops, cluster.Commands
+	}
+	opsA, cmdsA := run()
+	opsB, cmdsB := run()
+	if opsA != opsB || cmdsA != cmdsB {
+		t.Fatalf("trace-backed sim is not deterministic: %d/%d vs %d/%d", opsA, cmdsA, opsB, cmdsB)
+	}
+}
+
+// The reference catalog can include trace-backed personalities, so a
+// replayed public trace becomes a classification target like any synthetic
+// class.
+func TestReferenceCatalogWithTracePersonality(t *testing.T) {
+	persona := tracePersonality("replayed")
+	oltp, _ := workload.FleetPersonalityByName("oltp")
+	cat, err := ReferenceCatalog(1, persona, oltp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fresh run of the same trace personality should classify to itself.
+	inv := NewInventory(Config{
+		Seed: 9, Hosts: 1, VMsPerHost: 1,
+		Personalities: []workload.FleetPersonality{persona},
+	})
+	sim, err := New(inv, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunVirtual(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	m, err := cat.Best(localCluster(sim))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "replayed" {
+		t.Errorf("classified as %q (distance %.3f), want the trace personality", m.Name, m.Score)
+	}
+}

@@ -1,5 +1,7 @@
 package workload
 
+import "vscsistats/internal/trace"
+
 // The fleet personality mix: the workload population of a synthetic
 // datacenter. The paper characterizes a handful of hand-picked workloads;
 // a fleet-scale story needs the opposite — thousands of VMs drawn from a
@@ -28,6 +30,12 @@ type FleetPersonality struct {
 	ReadPct    int
 	RandomPct  int
 	Burst      int
+	// Trace, when non-empty, makes this a trace-backed personality: VMs
+	// replay this captured command stream (TraceReplay, looping, pacing
+	// scaled by intensity) instead of a synthetic PacedSpec, so real
+	// public-trace tenants flow through the fleet path next to synthetic
+	// ones. The paced fields above are ignored for such a personality.
+	Trace []trace.Record
 }
 
 // fleetPersonalities is the built-in population, ordered hot to cold in
@@ -66,9 +74,24 @@ func FleetPersonalityByName(name string) (FleetPersonality, bool) {
 	return FleetPersonality{}, false
 }
 
-// PacedSpec instantiates the personality as an open-loop access spec at the
-// given intensity (a per-VM rate multiplier; the inventory generator draws
-// it heavy-tailed) with the given RNG seed.
+// TraceSpec instantiates a trace-backed personality as a replay spec:
+// intensity becomes the pacing multiplier, so a hot tenant replays its
+// capture proportionally faster.
+func (fp FleetPersonality) TraceSpec(intensity float64) TraceSpec {
+	if intensity <= 0 {
+		intensity = 1
+	}
+	return TraceSpec{
+		Name:    fp.Name,
+		Records: fp.Trace,
+		Loop:    true,
+		Speed:   intensity,
+	}
+}
+
+// PacedSpec instantiates a synthetic personality as an open-loop access
+// spec at the given intensity (a per-VM rate multiplier; the inventory
+// generator draws it heavy-tailed) with the given RNG seed.
 func (fp FleetPersonality) PacedSpec(seed int64, intensity float64) PacedSpec {
 	if intensity <= 0 {
 		intensity = 1

@@ -1,0 +1,130 @@
+package workload
+
+import (
+	"testing"
+
+	"vscsistats/internal/core"
+	"vscsistats/internal/scsi"
+	"vscsistats/internal/simclock"
+	"vscsistats/internal/trace"
+	"vscsistats/internal/vscsi"
+)
+
+func newTraceTestDisk(t *testing.T) (*simclock.Engine, *vscsi.Disk, *core.Collector) {
+	t.Helper()
+	eng := simclock.NewEngine()
+	col := core.NewCollector("vm", "d0")
+	col.Enable()
+	backend := vscsi.BackendFunc(func(r *vscsi.Request, done func(scsi.Status, scsi.Sense)) {
+		svc := 200*simclock.Microsecond + simclock.Time(r.Cmd.Bytes()*int64(simclock.Second)/(100<<20))
+		eng.After(svc, func(simclock.Time) { done(scsi.StatusGood, scsi.Sense{}) })
+	})
+	disk := vscsi.NewDisk(eng, backend, vscsi.DiskConfig{
+		VM: "vm", Name: "d0", CapacitySectors: 1 << 18,
+	})
+	disk.AddObserver(col)
+	return eng, disk, col
+}
+
+func traceFixture(n int) []trace.Record {
+	recs := trace.Synthesize(21, n)
+	// One block-I/O substream, as a vscsim disk would get (the collector
+	// only bins block I/O, so keeping it pure makes accounting exact).
+	return trace.Filter(recs, trace.And(trace.OnlyDisk(recs[0].VM, recs[0].Disk), trace.OnlyBlockIO))
+}
+
+// The generator re-issues the captured command stream: same op mix, same
+// sizes, original relative pacing.
+func TestTraceReplayDrivesDisk(t *testing.T) {
+	sub := traceFixture(20000)
+	eng, disk, col := newTraceTestDisk(t)
+	gen := NewTraceReplay(eng, disk, TraceSpec{Name: "fixture", Records: sub})
+	gen.Start()
+	eng.Run()
+
+	st := gen.Stats()
+	issued := int64(len(sub)) - gen.Throttled()
+	if st.Ops != issued || st.Ops == 0 {
+		t.Fatalf("Ops = %d, want %d (len %d, throttled %d)", st.Ops, issued, len(sub), gen.Throttled())
+	}
+	if st.TotalLatency <= 0 {
+		t.Error("completions must accumulate latency")
+	}
+	snap := col.Snapshot()
+	if snap.Commands != issued {
+		t.Errorf("collector saw %d commands, want %d", snap.Commands, issued)
+	}
+	if snap.NumReads == 0 || snap.NumWrites == 0 {
+		t.Errorf("replayed mix lost an op class: %d reads, %d writes", snap.NumReads, snap.NumWrites)
+	}
+	if gen.Loops() != 0 {
+		t.Errorf("non-looping replay wrapped %d times", gen.Loops())
+	}
+
+	// The captured pacing survives: virtual time advanced to about the
+	// trace's span (completions may run slightly past the last issue).
+	span := simclock.Time(sub[len(sub)-1].IssueMicros-sub[0].IssueMicros) * simclock.Microsecond
+	if eng.Now() < span/2 {
+		t.Errorf("virtual clock %v, want at least half the trace span %v", eng.Now(), span)
+	}
+}
+
+// Replay is a deterministic state machine: same records, same stream.
+func TestTraceReplayDeterministic(t *testing.T) {
+	sub := traceFixture(5000)
+	run := func() *core.Snapshot {
+		eng, disk, col := newTraceTestDisk(t)
+		gen := NewTraceReplay(eng, disk, TraceSpec{Name: "fixture", Records: sub})
+		gen.Start()
+		eng.Run()
+		return col.Snapshot()
+	}
+	a, b := run(), run()
+	if a.Commands != b.Commands || a.ReadBytes != b.ReadBytes || a.WriteBytes != b.WriteBytes {
+		t.Fatalf("two runs diverged: %+v vs %+v", a, b)
+	}
+	for _, m := range core.Metrics() {
+		ha, hb := a.Histogram(m, core.All), b.Histogram(m, core.All)
+		if ha.Total != hb.Total {
+			t.Errorf("%s totals differ across runs", m)
+		}
+	}
+}
+
+// Loop restarts the stream so a short capture drives a long simulation,
+// and Speed compresses the captured pacing.
+func TestTraceReplayLoopAndSpeed(t *testing.T) {
+	recs := []trace.Record{
+		{IssueMicros: 0, VM: "v", Disk: "d", Op: scsi.OpRead16, LBA: 0, Blocks: 8},
+		{IssueMicros: 1000, VM: "v", Disk: "d", Op: scsi.OpWrite16, LBA: 64, Blocks: 8},
+	}
+	eng, disk, _ := newTraceTestDisk(t)
+	gen := NewTraceReplay(eng, disk, TraceSpec{Name: "tiny", Records: recs, Loop: true, Speed: 10})
+	gen.Start()
+	eng.RunUntil(10 * simclock.Millisecond)
+	gen.Stop()
+	eng.Run()
+	if gen.Loops() < 10 {
+		t.Errorf("10 ms at 10x over a 1 ms trace should wrap many times; got %d", gen.Loops())
+	}
+	if gen.Stats().Ops < 20 {
+		t.Errorf("Ops = %d", gen.Stats().Ops)
+	}
+}
+
+// Commands captured on a bigger disk wrap into this disk's capacity
+// instead of failing validation.
+func TestTraceReplayMapsOversizeLBA(t *testing.T) {
+	recs := []trace.Record{
+		{IssueMicros: 0, VM: "v", Disk: "d", Op: scsi.OpRead16, LBA: 1 << 40, Blocks: 8},
+		{IssueMicros: 10, VM: "v", Disk: "d", Op: scsi.OpWrite16, LBA: (1 << 18) - 4, Blocks: 8},
+	}
+	eng, disk, _ := newTraceTestDisk(t)
+	gen := NewTraceReplay(eng, disk, TraceSpec{Name: "big", Records: recs})
+	gen.Start()
+	eng.Run()
+	st := gen.Stats()
+	if st.Ops != 2 || st.Errors != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}

@@ -615,6 +615,53 @@ func NewTracer(capacity int) *Tracer { return trace.NewTracer(capacity) }
 // (unbinned) statistics; SeekLatencyCorrelation builds the §3.6 2-D view.
 func Replay(records []TraceRecord, col *Collector) { trace.Replay(records, col) }
 
+// The streaming replay engine: bounded-memory, parallel, format-agnostic.
+// RecordSource streams records (io.EOF at end); OpenTrace sniffs the
+// encoding (native capture, stream frames, MSR Cambridge CSV, Alibaba
+// cloud-trace CSV) and returns a streaming source over it.
+type (
+	RecordSource = trace.RecordSource
+	TraceFormat  = trace.Format
+	ReplayConfig = trace.ReplayConfig
+	ReplayStats  = trace.ReplayStats
+	ReplayResult = trace.ReplayResult
+)
+
+// The trace encodings OpenTrace understands.
+const (
+	TraceFormatAuto    = trace.FormatUnknown
+	TraceFormatNative  = trace.FormatNative
+	TraceFormatStream  = trace.FormatStream
+	TraceFormatMSR     = trace.FormatMSR
+	TraceFormatAlibaba = trace.FormatAlibaba
+)
+
+// OpenTrace wraps r as a streaming RecordSource, sniffing the format when
+// f is TraceFormatAuto; the resolved format is returned alongside.
+func OpenTrace(r io.Reader, f TraceFormat) (RecordSource, TraceFormat, error) {
+	return trace.Open(r, f)
+}
+
+// NewSliceSource adapts an in-memory trace to RecordSource.
+func NewSliceSource(records []TraceRecord) RecordSource { return trace.NewSliceSource(records) }
+
+// ReplayParallel replays a source into one collector per (VM, disk)
+// substream across a worker pool — bin-exact against Replay per disk, in
+// one pass with bounded memory.
+func ReplayParallel(src RecordSource, cfg ReplayConfig) (*ReplayResult, error) {
+	return trace.ReplayParallel(src, cfg)
+}
+
+// ReplayMerged replays a source into one collector with the legacy
+// single-stream semantics via a bounded k-way issue-order merge.
+func ReplayMerged(src RecordSource, col *Collector, cfg ReplayConfig) (ReplayStats, error) {
+	return trace.ReplayMerged(src, col, cfg)
+}
+
+// SynthesizeTrace generates a seed-deterministic synthetic trace, so
+// benchmarks and tests need no checked-in fixtures.
+func SynthesizeTrace(seed int64, n int) []TraceRecord { return trace.Synthesize(seed, n) }
+
 // Analyze recomputes exact (unbinned) workload statistics from a trace.
 func Analyze(records []TraceRecord) *analysis.Report {
 	return analysis.Analyze(records)
